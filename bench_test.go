@@ -1,0 +1,209 @@
+package repro
+
+// One benchmark per experiment in DESIGN.md §4 / EXPERIMENTS.md. Each runs a
+// complete scenario (cluster boot, load, reconfiguration, teardown) per
+// iteration and reports the experiment's headline numbers as custom metrics,
+// so `go test -bench=. -benchmem` regenerates every table and figure.
+//
+// Benchmarks intentionally use wall-clock scenarios (seconds each); run with
+// -benchtime=1x for a single pass per experiment.
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/harness"
+)
+
+func tuning() harness.Tuning { return harness.DefaultTuning() }
+
+const (
+	benchClients = 4
+	benchRunDur  = 2 * time.Second
+)
+
+// BenchmarkT1StaticPaxosScaling — Table T1: throughput/latency of the static
+// substrate at n ∈ {3,5,7,9}.
+func BenchmarkT1StaticPaxosScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.RunT1StaticScaling(tuning(), []int{3, 5, 7, 9}, benchRunDur, benchClients)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Log("\n" + res.Render())
+		for _, row := range res.Rows {
+			b.ReportMetric(row.Throughput, fmt.Sprintf("ops/s/n%d", row.N))
+		}
+	}
+}
+
+// BenchmarkF1ReconfigTimeline — Figure F1: committed-ops timeline around a
+// member swap, per system.
+func BenchmarkF1ReconfigTimeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, kind := range []harness.SystemKind{harness.Composed, harness.StopTheWorld, harness.Inband} {
+			res, err := harness.RunDisruption(kind, tuning(), benchRunDur, benchClients, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Log("\n" + res.Render())
+			b.ReportMetric(res.Gap.Seconds()*1000, "gap-ms/"+kind.String())
+			b.ReportMetric(res.Throughput, "ops/s/"+kind.String())
+		}
+	}
+}
+
+// BenchmarkT2Downtime — Table T2: longest commit gap per system per state
+// size.
+func BenchmarkT2Downtime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var results []harness.DisruptionResult
+		for _, size := range []int{16 << 10, 256 << 10, 1 << 20} {
+			for _, kind := range []harness.SystemKind{harness.Composed, harness.StopTheWorld, harness.Inband} {
+				res, err := harness.RunDisruptionMedian(kind, tuning(), benchRunDur, benchClients, size)
+				if err != nil {
+					b.Fatal(err)
+				}
+				results = append(results, res)
+				b.ReportMetric(res.Gap.Seconds()*1000,
+					fmt.Sprintf("gap-ms/%s/%dKB", kind, size>>10))
+			}
+		}
+		b.Log("\n" + harness.RenderDisruptionTable(results))
+	}
+}
+
+// BenchmarkF2StateTransfer — Figure F2: composed reconfiguration latency vs
+// snapshot size, with and without speculative start.
+func BenchmarkF2StateTransfer(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.RunF2StateTransfer(tuning(), []int{16 << 10, 256 << 10, 1 << 20}, benchRunDur, benchClients)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Log("\n" + res.Render())
+		for _, row := range res.Rows {
+			tag := "spec"
+			if !row.Speculative {
+				tag = "nospec"
+			}
+			b.ReportMetric(row.ReconfigTook.Seconds()*1000,
+				fmt.Sprintf("reconfig-ms/%s/%dKB", tag, row.StateBytes>>10))
+		}
+	}
+}
+
+// BenchmarkT3Failover — Table T3: crash-to-restored-service time.
+func BenchmarkT3Failover(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.RunT3Failover(tuning(), 2*benchRunDur, benchClients, 200*time.Millisecond)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Log("\n" + res.Render())
+		b.ReportMetric(res.CrashToServe.Seconds()*1000, "crash-to-serve-ms")
+		b.ReportMetric(res.GapAfterCrash.Seconds()*1000, "gap-ms")
+	}
+}
+
+// BenchmarkF3Elastic — Figure F3: throughput timeline across the elastic
+// chain 3→5→7→5→3.
+func BenchmarkF3Elastic(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.RunF3Elastic(tuning(), 800*time.Millisecond, benchClients)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Log("\n" + res.Render())
+		b.ReportMetric(float64(res.Acked), "acked-ops")
+	}
+}
+
+// BenchmarkT4MessageCost — Table T4: messages/bytes per op and per
+// reconfiguration, per system.
+func BenchmarkT4MessageCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.RunT4MessageCost(tuning(), 300, benchClients)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Log("\n" + res.Render())
+		for _, row := range res.Rows {
+			b.ReportMetric(row.MsgsPerOp, "msgs/op/"+row.System.String())
+			b.ReportMetric(float64(row.ReconfigMsgs), "reconf-msgs/"+row.System.String())
+		}
+	}
+}
+
+// BenchmarkF4AlphaWindow — Figure F4: in-band throughput vs α with the
+// composed system as the uncapped reference.
+func BenchmarkF4AlphaWindow(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.RunF4Alpha(tuning(), []int{1, 2, 4, 8, 16, 32}, 1500*time.Millisecond, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Log("\n" + res.Render())
+		for _, row := range res.Rows {
+			name := fmt.Sprintf("ops/s/alpha%d", row.Alpha)
+			if row.Alpha == 0 {
+				name = "ops/s/composed"
+			}
+			b.ReportMetric(row.Throughput, name)
+		}
+	}
+}
+
+// BenchmarkT5LatencyPercentiles — Table T5: latency distribution in steady
+// state vs during the reconfiguration epoch, per system.
+func BenchmarkT5LatencyPercentiles(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var results []harness.DisruptionResult
+		for _, kind := range []harness.SystemKind{harness.Composed, harness.StopTheWorld, harness.Inband} {
+			res, err := harness.RunDisruption(kind, tuning(), benchRunDur, benchClients, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			results = append(results, res)
+			b.ReportMetric(res.SteadyLat.P99.Seconds()*1000, "steady-p99-ms/"+kind.String())
+			b.ReportMetric(res.DisruptLat.P99.Seconds()*1000, "reconf-p99-ms/"+kind.String())
+		}
+		b.Log("\n" + harness.RenderLatencyTable(results))
+	}
+}
+
+// BenchmarkF5Crossover — Figure F5: disruption vs state size, composed vs
+// in-band.
+func BenchmarkF5Crossover(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var results []harness.DisruptionResult
+		for _, size := range []int{8 << 10, 512 << 10, 4 << 20} {
+			for _, kind := range []harness.SystemKind{harness.Composed, harness.Inband} {
+				res, err := harness.RunDisruptionMedian(kind, tuning(), benchRunDur, benchClients, size)
+				if err != nil {
+					b.Fatal(err)
+				}
+				results = append(results, res)
+				b.ReportMetric(res.Gap.Seconds()*1000,
+					fmt.Sprintf("gap-ms/%s/%dKB", kind, size>>10))
+			}
+		}
+		b.Log("\n" + harness.RenderCrossover(results))
+	}
+}
+
+// BenchmarkA1Batching — ablation A1: commands-per-slot batching on the
+// static substrate under concurrent load.
+func BenchmarkA1Batching(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.RunA1Batching(tuning(), []int{1, 4, 16, 64}, 1500*time.Millisecond, 16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Log("\n" + res.Render())
+		for _, row := range res.Rows {
+			b.ReportMetric(row.Throughput, fmt.Sprintf("ops/s/batch%d", row.BatchSize))
+		}
+	}
+}

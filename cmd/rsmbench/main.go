@@ -1,0 +1,135 @@
+// Command rsmbench runs the experiments from EXPERIMENTS.md by ID and prints
+// their tables and figures.
+//
+// Usage:
+//
+//	rsmbench -exp t1            # one experiment
+//	rsmbench -exp all -dur 3s   # the full suite, 3s of load per run
+//
+// Experiment IDs: t1 f1 t2 f2 t3 f3 t4 f4 t5 f5 (see DESIGN.md §4).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		exp     = flag.String("exp", "all", "experiment ID (t1,f1,t2,f2,t3,f3,t4,f4,t5,f5 or all)")
+		dur     = flag.Duration("dur", 2*time.Second, "load duration per run")
+		clients = flag.Int("clients", 4, "closed-loop client count")
+	)
+	flag.Parse()
+
+	tun := harness.DefaultTuning()
+	ids := strings.Split(strings.ToLower(*exp), ",")
+	if *exp == "all" {
+		ids = []string{"t1", "f1", "t2", "f2", "t3", "f3", "t4", "f4", "t5", "f5"}
+	}
+	for _, id := range ids {
+		fmt.Printf("=== experiment %s ===\n", strings.ToUpper(id))
+		if err := runOne(id, tun, *dur, *clients); err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s: %v\n", id, err)
+			return 1
+		}
+		fmt.Println()
+	}
+	return 0
+}
+
+func runOne(id string, tun harness.Tuning, dur time.Duration, clients int) error {
+	allSystems := []harness.SystemKind{harness.Composed, harness.StopTheWorld, harness.Inband}
+	switch id {
+	case "t1":
+		res, err := harness.RunT1StaticScaling(tun, []int{3, 5, 7, 9}, dur, clients)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
+	case "f1":
+		for _, kind := range allSystems {
+			res, err := harness.RunDisruption(kind, tun, dur, clients, 0)
+			if err != nil {
+				return err
+			}
+			fmt.Print(res.Render())
+		}
+	case "t2":
+		var results []harness.DisruptionResult
+		for _, size := range []int{16 << 10, 256 << 10, 1 << 20} {
+			for _, kind := range allSystems {
+				res, err := harness.RunDisruptionMedian(kind, tun, dur, clients, size)
+				if err != nil {
+					return err
+				}
+				results = append(results, res)
+			}
+		}
+		fmt.Print(harness.RenderDisruptionTable(results))
+	case "f2":
+		res, err := harness.RunF2StateTransfer(tun, []int{16 << 10, 256 << 10, 1 << 20}, dur, clients)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
+	case "t3":
+		res, err := harness.RunT3Failover(tun, 2*dur, clients, 200*time.Millisecond)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
+	case "f3":
+		res, err := harness.RunF3Elastic(tun, dur/2, clients)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
+	case "t4":
+		res, err := harness.RunT4MessageCost(tun, 300, clients)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
+	case "f4":
+		res, err := harness.RunF4Alpha(tun, []int{1, 2, 4, 8, 16, 32}, dur, 2*clients)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
+	case "t5":
+		var results []harness.DisruptionResult
+		for _, kind := range allSystems {
+			res, err := harness.RunDisruption(kind, tun, dur, clients, 0)
+			if err != nil {
+				return err
+			}
+			results = append(results, res)
+		}
+		fmt.Print(harness.RenderLatencyTable(results))
+	case "f5":
+		var results []harness.DisruptionResult
+		for _, size := range []int{8 << 10, 512 << 10, 4 << 20} {
+			for _, kind := range []harness.SystemKind{harness.Composed, harness.Inband} {
+				res, err := harness.RunDisruptionMedian(kind, tun, dur, clients, size)
+				if err != nil {
+					return err
+				}
+				results = append(results, res)
+			}
+		}
+		fmt.Print(harness.RenderCrossover(results))
+	default:
+		return fmt.Errorf("unknown experiment %q", id)
+	}
+	return nil
+}

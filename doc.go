@@ -1,0 +1,15 @@
+// Package repro reproduces "Brief announcement: reconfigurable state machine
+// replication from non-reconfigurable building blocks" (Bortnikov, Chockler,
+// Perelman, Roytman, Shachor, Shnayderman; PODC 2012) as a complete Go
+// library: a reconfigurable SMR service composed from chained static
+// Multi-Paxos engines, two baselines (stop-the-world and in-band α-window
+// reconfiguration), the full substrate they run on (simulated network,
+// stable storage, deterministic state machines, client sessions), and a
+// benchmark harness regenerating every experiment in EXPERIMENTS.md.
+//
+// Start with DESIGN.md for the system inventory, internal/core for the
+// contribution's API, and examples/quickstart for a running tour. The
+// benchmarks in bench_test.go are run with:
+//
+//	go test -bench=. -benchmem -benchtime=1x .
+package repro

@@ -1,0 +1,54 @@
+package inband_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/baseline/inband"
+	"repro/internal/smr"
+	"repro/internal/smr/smrtest"
+	"repro/internal/storage"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+// TestInbandConformance runs the shared smr.Engine conformance suite against
+// the in-band α-window engine (with no reconfigurations in flight it must
+// behave exactly like a static engine, modulo the pipeline cap).
+func TestInbandConformance(t *testing.T) {
+	smrtest.Run(t, func(t *testing.T, members []types.NodeID) smrtest.Cluster {
+		net := transport.NewNetwork(transport.Options{
+			BaseLatency: 100 * time.Microsecond,
+			Jitter:      100 * time.Microsecond,
+			Seed:        3,
+		})
+		cfg := types.MustConfig(1, members...)
+		engines := make(map[types.NodeID]smr.Engine, len(members))
+		for _, id := range members {
+			rep, err := inband.New(cfg, id, net.Endpoint(id), storage.NewMem(), 1, inband.Options{
+				Alpha:                8,
+				TickInterval:         time.Millisecond,
+				HeartbeatEveryTicks:  2,
+				ElectionTimeoutTicks: 10,
+				ElectionJitterTicks:  10,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := rep.Start(); err != nil {
+				t.Fatal(err)
+			}
+			engines[id] = rep
+		}
+		return smrtest.Cluster{
+			Engines: engines,
+			Network: net,
+			Cleanup: func() {
+				for _, e := range engines {
+					e.Stop()
+				}
+				net.Close()
+			},
+		}
+	})
+}

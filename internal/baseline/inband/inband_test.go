@@ -1,0 +1,426 @@
+package inband
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/statemachine"
+	"repro/internal/storage"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+type ibWorld struct {
+	t    *testing.T
+	net  *transport.Network
+	svcs map[types.NodeID]*Service
+}
+
+func fastIB(alpha int) Options {
+	return Options{
+		Alpha:                alpha,
+		TickInterval:         time.Millisecond,
+		HeartbeatEveryTicks:  2,
+		ElectionTimeoutTicks: 10,
+		ElectionJitterTicks:  10,
+	}
+}
+
+// newIBWorld starts services on every listed node; `initial` members form
+// configuration 1, the rest are future joiners.
+func newIBWorld(t *testing.T, alpha int, initial []types.NodeID, extra ...types.NodeID) *ibWorld {
+	w := &ibWorld{
+		t:    t,
+		net:  transport.NewNetwork(transport.Options{BaseLatency: 100 * time.Microsecond}),
+		svcs: make(map[types.NodeID]*Service),
+	}
+	cfg := types.MustConfig(1, initial...)
+	for _, id := range append(append([]types.NodeID{}, initial...), extra...) {
+		svc, err := NewService(ServiceConfig{
+			Self:          id,
+			Endpoint:      w.net.Endpoint(id),
+			Store:         storage.NewMem(),
+			Factory:       statemachine.NewCounterMachine,
+			Initial:       cfg,
+			Opts:          fastIB(alpha),
+			RetryInterval: 10 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.svcs[id] = svc
+	}
+	t.Cleanup(func() {
+		for _, s := range w.svcs {
+			s.Stop()
+		}
+		w.net.Close()
+	})
+	return w
+}
+
+func (w *ibWorld) submit(via, client types.NodeID, seq uint64, op []byte) []byte {
+	w.t.Helper()
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		reply, err := w.svcs[via].Submit(ctx, client, seq, op)
+		cancel()
+		if err == nil {
+			return reply
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	w.t.Fatalf("submit via %s never succeeded", via)
+	return nil
+}
+
+func (w *ibWorld) counter(via types.NodeID, client types.NodeID, seq uint64) uint64 {
+	w.t.Helper()
+	reply := w.submit(via, client, seq, statemachine.EncodeCounterGet())
+	v, err := statemachine.DecodeUvarintReply(statemachine.ReplyPayload(reply))
+	if err != nil {
+		w.t.Fatal(err)
+	}
+	return v
+}
+
+func (w *ibWorld) checkNoViolations() {
+	w.t.Helper()
+	for id, s := range w.svcs {
+		if v := s.Engine().Stats().InvariantViolations; v != 0 {
+			w.t.Errorf("%s: %d invariant violations", id, v)
+		}
+	}
+}
+
+func TestInbandBasicOrdering(t *testing.T) {
+	w := newIBWorld(t, 4, []types.NodeID{"n1", "n2", "n3"})
+	for seq := uint64(1); seq <= 10; seq++ {
+		w.submit("n1", "c", seq, statemachine.EncodeAdd(1))
+	}
+	if v := w.counter("n2", "c", 11); v != 10 {
+		t.Fatalf("counter = %d", v)
+	}
+	w.checkNoViolations()
+}
+
+func TestInbandDedup(t *testing.T) {
+	w := newIBWorld(t, 4, []types.NodeID{"n1", "n2", "n3"})
+	w.submit("n1", "c", 1, statemachine.EncodeAdd(7))
+	w.submit("n2", "c", 1, statemachine.EncodeAdd(7)) // retry elsewhere
+	if v := w.counter("n3", "c", 2); v != 7 {
+		t.Fatalf("dedup failed: %d", v)
+	}
+	w.checkNoViolations()
+}
+
+func TestInbandAlphaOneStillProgresses(t *testing.T) {
+	// α=1 is the degenerate fully-serialized pipeline.
+	w := newIBWorld(t, 1, []types.NodeID{"n1", "n2", "n3"})
+	for seq := uint64(1); seq <= 5; seq++ {
+		w.submit("n1", "c", seq, statemachine.EncodeAdd(1))
+	}
+	if v := w.counter("n1", "c", 6); v != 5 {
+		t.Fatalf("counter = %d", v)
+	}
+	w.checkNoViolations()
+}
+
+func TestInbandReconfigureAddMember(t *testing.T) {
+	w := newIBWorld(t, 4, []types.NodeID{"n1", "n2", "n3"}, "n4")
+	w.submit("n1", "c", 1, statemachine.EncodeAdd(5))
+
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	cfg, err := w.svcs["n1"].Reconfigure(ctx, []types.NodeID{"n1", "n2", "n3", "n4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.ID != 2 || !cfg.IsMember("n4") {
+		t.Fatalf("config %s", cfg)
+	}
+
+	// Traffic keeps flowing through the window.
+	for seq := uint64(2); seq <= 10; seq++ {
+		w.submit("n2", "c", seq, statemachine.EncodeAdd(1))
+	}
+	if v := w.counter("n1", "c", 11); v != 14 {
+		t.Fatalf("counter = %d", v)
+	}
+
+	// The joiner catches up by log replay and converges.
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if w.svcs["n4"].AppliedSlot() >= w.svcs["n1"].AppliedSlot() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("joiner stuck at slot %d (leader at %d)",
+				w.svcs["n4"].AppliedSlot(), w.svcs["n1"].AppliedSlot())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	w.checkNoViolations()
+}
+
+func TestInbandMemberSwapServesThroughout(t *testing.T) {
+	w := newIBWorld(t, 4, []types.NodeID{"n1", "n2", "n3"}, "n4")
+	w.submit("n1", "c", 1, statemachine.EncodeAdd(1))
+
+	// Swap n3 -> n4 while submitting continuously.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var count uint64
+	go func() {
+		defer wg.Done()
+		seq := uint64(2)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+			_, err := w.svcs["n1"].Submit(ctx, "c", seq, statemachine.EncodeAdd(1))
+			cancel()
+			if err == nil {
+				seq++
+				count++
+			}
+		}
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if _, err := w.svcs["n1"].Reconfigure(ctx, []types.NodeID{"n1", "n2", "n4"}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if count == 0 {
+		t.Fatal("no commands succeeded around the swap")
+	}
+	w.checkNoViolations()
+}
+
+func TestInbandChainedReconfigs(t *testing.T) {
+	w := newIBWorld(t, 4, []types.NodeID{"n1", "n2", "n3"}, "n4", "n5")
+	seq := uint64(1)
+	memberSets := [][]types.NodeID{
+		{"n1", "n2", "n3", "n4"},
+		{"n1", "n2", "n3", "n4", "n5"},
+		{"n2", "n3", "n4", "n5"},
+	}
+	for round, m := range memberSets {
+		w.submit("n2", "c", seq, statemachine.EncodeAdd(1))
+		seq++
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		cfg, err := w.svcs["n2"].Reconfigure(ctx, m)
+		cancel()
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if cfg.ID != types.ConfigID(round+2) {
+			t.Fatalf("round %d: cfg %s", round, cfg)
+		}
+	}
+	if v := w.counter("n2", "c", seq); v != 3 {
+		t.Fatalf("counter = %d", v)
+	}
+	w.checkNoViolations()
+}
+
+func TestInbandLeaderFailover(t *testing.T) {
+	w := newIBWorld(t, 4, []types.NodeID{"n1", "n2", "n3"})
+	w.submit("n1", "c", 1, statemachine.EncodeAdd(1))
+
+	// Find and isolate the leader.
+	var leader types.NodeID
+	deadline := time.Now().Add(5 * time.Second)
+	for leader == "" && time.Now().Before(deadline) {
+		for id, svc := range w.svcs {
+			if _, am := svc.Engine().Leader(); am {
+				leader = id
+				break
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if leader == "" {
+		t.Fatal("no leader")
+	}
+	w.net.Isolate(leader)
+
+	var survivor types.NodeID
+	for _, id := range []types.NodeID{"n1", "n2", "n3"} {
+		if id != leader {
+			survivor = id
+			break
+		}
+	}
+	w.submit(survivor, "c", 2, statemachine.EncodeAdd(1))
+	if v := w.counter(survivor, "c", 3); v != 2 {
+		t.Fatalf("counter = %d", v)
+	}
+	w.checkNoViolations()
+}
+
+func TestInbandWindowStallAccounting(t *testing.T) {
+	// With α=1 and a burst of proposals, the window must stall.
+	w := newIBWorld(t, 1, []types.NodeID{"n1", "n2", "n3"})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			client := types.NodeID(fmt.Sprintf("c%d", g))
+			for seq := uint64(1); seq <= 10; seq++ {
+				w.submit("n1", client, seq, statemachine.EncodeAdd(1))
+			}
+		}(g)
+	}
+	wg.Wait()
+	var stalls int64
+	for _, svc := range w.svcs {
+		stalls += svc.Engine().Stats().WindowStalls
+	}
+	if stalls == 0 {
+		t.Fatal("expected window stalls with α=1 under concurrency")
+	}
+	if v := w.counter("n1", "q", 1); v != 40 {
+		t.Fatalf("counter = %d", v)
+	}
+	w.checkNoViolations()
+}
+
+func TestInbandRestartRecoversTimeline(t *testing.T) {
+	net := transport.NewNetwork(transport.Options{BaseLatency: 100 * time.Microsecond})
+	defer net.Close()
+	cfg := types.MustConfig(1, "n1")
+	store := storage.NewMem()
+	svc, err := NewService(ServiceConfig{
+		Self: "n1", Endpoint: net.Endpoint("n1"), Store: store,
+		Factory: statemachine.NewCounterMachine, Initial: cfg,
+		Opts: fastIB(2), RetryInterval: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if _, err := svc.Submit(ctx, "c", 1, statemachine.EncodeAdd(3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Reconfigure(ctx, []types.NodeID{"n1"}); err != nil {
+		t.Fatal(err)
+	}
+	svc.Stop()
+
+	// Restart from the same store: log replay must rebuild the counter
+	// and the timeline (max config ID = 2).
+	svc2, err := NewService(ServiceConfig{
+		Self: "n1", Endpoint: net.Endpoint("n1"), Store: store,
+		Factory: statemachine.NewCounterMachine, Initial: cfg,
+		Opts: fastIB(2), RetryInterval: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc2.Stop()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		reply, err := func() ([]byte, error) {
+			c2, cancel2 := context.WithTimeout(context.Background(), time.Second)
+			defer cancel2()
+			return svc2.Submit(c2, "c", 2, statemachine.EncodeCounterGet())
+		}()
+		if err == nil {
+			v, _ := statemachine.DecodeUvarintReply(statemachine.ReplyPayload(reply))
+			if v == 3 {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("restarted service never recovered state")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := svc2.Engine().MaxConfigID(); got != 2 {
+		t.Fatalf("timeline not recovered: max cfg %d", got)
+	}
+}
+
+func TestInbandConfigForAndWindow(t *testing.T) {
+	net := transport.NewNetwork(transport.Options{})
+	defer net.Close()
+	cfg1 := types.MustConfig(1, "a", "b", "c")
+	r, err := New(cfg1, "a", net.Endpoint("a"), storage.NewMem(), 1, Options{Alpha: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := types.MustConfig(2, "b", "c", "d")
+	r.timeline = append(r.timeline, activation{At: 10, Cfg: cfg2})
+
+	if got := r.configFor(9); got.ID != 1 {
+		t.Fatalf("configFor(9) = %v", got)
+	}
+	if got := r.configFor(10); got.ID != 2 {
+		t.Fatalf("configFor(10) = %v", got)
+	}
+	r.deliverNext = 8 // window [8, 10] spans both configs
+	wcs := r.windowConfigs()
+	if len(wcs) != 2 {
+		t.Fatalf("window configs: %v", wcs)
+	}
+	members := r.windowMembers()
+	if len(members) != 4 {
+		t.Fatalf("window members: %v", members)
+	}
+	if r.windowEnd() != 10 {
+		t.Fatalf("windowEnd = %d", r.windowEnd())
+	}
+}
+
+func TestInbandProgressUnderLoss(t *testing.T) {
+	w := &ibWorld{
+		t: t,
+		net: transport.NewNetwork(transport.Options{
+			BaseLatency: 100 * time.Microsecond,
+			Jitter:      300 * time.Microsecond,
+			LossRate:    0.08,
+			Seed:        21,
+		}),
+		svcs: make(map[types.NodeID]*Service),
+	}
+	cfg := types.MustConfig(1, "n1", "n2", "n3")
+	for _, id := range cfg.Members {
+		svc, err := NewService(ServiceConfig{
+			Self: id, Endpoint: w.net.Endpoint(id), Store: storage.NewMem(),
+			Factory: statemachine.NewCounterMachine, Initial: cfg,
+			Opts: fastIB(8), RetryInterval: 10 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.svcs[id] = svc
+	}
+	t.Cleanup(func() {
+		for _, s := range w.svcs {
+			s.Stop()
+		}
+		w.net.Close()
+	})
+	for seq := uint64(1); seq <= 20; seq++ {
+		w.submit("n1", "c", seq, statemachine.EncodeAdd(1))
+	}
+	if v := w.counter("n2", "c", 21); v != 20 {
+		t.Fatalf("counter = %d", v)
+	}
+	w.checkNoViolations()
+}

@@ -1,0 +1,266 @@
+// Package inband implements the classical intertwined reconfiguration
+// baseline: a single continuous log in which a configuration command decided
+// at slot s governs slots >= s+α (Lamport's α-window scheme; Raft-style
+// single-log membership change is this scheme's direct descendant).
+//
+// The consensus engine itself is membership-aware: each slot's quorum is
+// evaluated against the configuration governing that slot, a leader must
+// assemble promise quorums of every configuration governing its proposal
+// window, and — the defining cost — the pipeline may never run more than α
+// slots past the contiguously decided prefix, because the configuration of a
+// farther slot could still change. Experiment F4 measures that pipeline cap;
+// F1/T2/F5 compare its reconfiguration disruption against the paper's
+// composition.
+//
+// New members join with an empty log and rebuild via catch-up from the
+// initial members (full log replay) — the honest cost of a single-log
+// protocol without out-of-band snapshot shipping.
+package inband
+
+import (
+	"fmt"
+
+	"repro/internal/types"
+)
+
+// Message kinds on the wire.
+const (
+	// KindPrepare is phase-1a over all slots from a given one.
+	KindPrepare uint8 = 1
+	// KindPromise is phase-1b with the acceptor's accepted suffix.
+	KindPromise uint8 = 2
+	// KindAccept is phase-2a for one slot.
+	KindAccept uint8 = 3
+	// KindAccepted is phase-2b.
+	KindAccepted uint8 = 4
+	// KindDecide announces a chosen value.
+	KindDecide uint8 = 5
+	// KindHeartbeat is the leader beacon.
+	KindHeartbeat uint8 = 6
+	// KindCatchupReq requests decided entries.
+	KindCatchupReq uint8 = 7
+	// KindCatchupResp returns decided entries.
+	KindCatchupResp uint8 = 8
+	// KindForward relays a proposal to the leader.
+	KindForward uint8 = 9
+)
+
+type prepareMsg struct {
+	Ballot types.Ballot
+	From   types.Slot
+}
+
+type acceptedEntry struct {
+	Slot   types.Slot
+	Ballot types.Ballot
+	Cmd    types.Command
+}
+
+type promiseMsg struct {
+	Ballot   types.Ballot
+	OK       bool
+	Promised types.Ballot
+	Accepted []acceptedEntry
+	Decided  types.Slot
+}
+
+type acceptMsg struct {
+	Ballot types.Ballot
+	Slot   types.Slot
+	Cmd    types.Command
+}
+
+type acceptedMsg struct {
+	Ballot   types.Ballot
+	Slot     types.Slot
+	OK       bool
+	Promised types.Ballot
+}
+
+type decideMsg struct {
+	Slot types.Slot
+	Cmd  types.Command
+}
+
+type heartbeatMsg struct {
+	Ballot  types.Ballot
+	Decided types.Slot
+}
+
+type catchupReqMsg struct {
+	From types.Slot
+	To   types.Slot
+}
+
+type catchupRespMsg struct {
+	Entries []decideMsg
+}
+
+type forwardMsg struct {
+	Cmd types.Command
+}
+
+func encodePrepare(m prepareMsg) []byte {
+	w := types.NewWriter(24)
+	w.Ballot(m.Ballot)
+	w.Uvarint(uint64(m.From))
+	return w.Bytes()
+}
+
+func decodePrepare(buf []byte) (prepareMsg, error) {
+	r := types.NewReader(buf)
+	m := prepareMsg{Ballot: r.Ballot(), From: types.Slot(r.Uvarint())}
+	return m, wrapDecode("prepare", r)
+}
+
+func encodePromise(m promiseMsg) []byte {
+	sz := 32
+	for _, e := range m.Accepted {
+		sz += 24 + e.Cmd.EncodedSize()
+	}
+	w := types.NewWriter(sz)
+	w.Ballot(m.Ballot)
+	w.Bool(m.OK)
+	w.Ballot(m.Promised)
+	w.Uvarint(uint64(len(m.Accepted)))
+	for _, e := range m.Accepted {
+		w.Uvarint(uint64(e.Slot))
+		w.Ballot(e.Ballot)
+		e.Cmd.Encode(w)
+	}
+	w.Uvarint(uint64(m.Decided))
+	return w.Bytes()
+}
+
+func decodePromise(buf []byte) (promiseMsg, error) {
+	r := types.NewReader(buf)
+	m := promiseMsg{Ballot: r.Ballot(), OK: r.Bool(), Promised: r.Ballot()}
+	n := r.Uvarint()
+	if r.Err() == nil && n > uint64(r.Remaining()) {
+		return m, fmt.Errorf("%w: promise entry count %d", types.ErrCodec, n)
+	}
+	m.Accepted = make([]acceptedEntry, 0, n)
+	for i := uint64(0); i < n; i++ {
+		m.Accepted = append(m.Accepted, acceptedEntry{
+			Slot:   types.Slot(r.Uvarint()),
+			Ballot: r.Ballot(),
+			Cmd:    types.DecodeCommandFrom(r),
+		})
+	}
+	m.Decided = types.Slot(r.Uvarint())
+	return m, wrapDecode("promise", r)
+}
+
+func encodeAccept(m acceptMsg) []byte {
+	w := types.NewWriter(24 + m.Cmd.EncodedSize())
+	w.Ballot(m.Ballot)
+	w.Uvarint(uint64(m.Slot))
+	m.Cmd.Encode(w)
+	return w.Bytes()
+}
+
+func decodeAccept(buf []byte) (acceptMsg, error) {
+	r := types.NewReader(buf)
+	m := acceptMsg{Ballot: r.Ballot(), Slot: types.Slot(r.Uvarint()), Cmd: types.DecodeCommandFrom(r)}
+	return m, wrapDecode("accept", r)
+}
+
+func encodeAccepted(m acceptedMsg) []byte {
+	w := types.NewWriter(32)
+	w.Ballot(m.Ballot)
+	w.Uvarint(uint64(m.Slot))
+	w.Bool(m.OK)
+	w.Ballot(m.Promised)
+	return w.Bytes()
+}
+
+func decodeAccepted(buf []byte) (acceptedMsg, error) {
+	r := types.NewReader(buf)
+	m := acceptedMsg{Ballot: r.Ballot(), Slot: types.Slot(r.Uvarint()), OK: r.Bool(), Promised: r.Ballot()}
+	return m, wrapDecode("accepted", r)
+}
+
+func encodeDecide(m decideMsg) []byte {
+	w := types.NewWriter(8 + m.Cmd.EncodedSize())
+	w.Uvarint(uint64(m.Slot))
+	m.Cmd.Encode(w)
+	return w.Bytes()
+}
+
+func decodeDecide(buf []byte) (decideMsg, error) {
+	r := types.NewReader(buf)
+	m := decideMsg{Slot: types.Slot(r.Uvarint()), Cmd: types.DecodeCommandFrom(r)}
+	return m, wrapDecode("decide", r)
+}
+
+func encodeHeartbeat(m heartbeatMsg) []byte {
+	w := types.NewWriter(24)
+	w.Ballot(m.Ballot)
+	w.Uvarint(uint64(m.Decided))
+	return w.Bytes()
+}
+
+func decodeHeartbeat(buf []byte) (heartbeatMsg, error) {
+	r := types.NewReader(buf)
+	m := heartbeatMsg{Ballot: r.Ballot(), Decided: types.Slot(r.Uvarint())}
+	return m, wrapDecode("heartbeat", r)
+}
+
+func encodeCatchupReq(m catchupReqMsg) []byte {
+	w := types.NewWriter(16)
+	w.Uvarint(uint64(m.From))
+	w.Uvarint(uint64(m.To))
+	return w.Bytes()
+}
+
+func decodeCatchupReq(buf []byte) (catchupReqMsg, error) {
+	r := types.NewReader(buf)
+	m := catchupReqMsg{From: types.Slot(r.Uvarint()), To: types.Slot(r.Uvarint())}
+	return m, wrapDecode("catchup-req", r)
+}
+
+func encodeCatchupResp(m catchupRespMsg) []byte {
+	sz := 8
+	for _, e := range m.Entries {
+		sz += 8 + e.Cmd.EncodedSize()
+	}
+	w := types.NewWriter(sz)
+	w.Uvarint(uint64(len(m.Entries)))
+	for _, e := range m.Entries {
+		w.Uvarint(uint64(e.Slot))
+		e.Cmd.Encode(w)
+	}
+	return w.Bytes()
+}
+
+func decodeCatchupResp(buf []byte) (catchupRespMsg, error) {
+	r := types.NewReader(buf)
+	n := r.Uvarint()
+	if r.Err() == nil && n > uint64(r.Remaining()) {
+		return catchupRespMsg{}, fmt.Errorf("%w: catchup entry count %d", types.ErrCodec, n)
+	}
+	m := catchupRespMsg{Entries: make([]decideMsg, 0, n)}
+	for i := uint64(0); i < n; i++ {
+		m.Entries = append(m.Entries, decideMsg{Slot: types.Slot(r.Uvarint()), Cmd: types.DecodeCommandFrom(r)})
+	}
+	return m, wrapDecode("catchup-resp", r)
+}
+
+func encodeForward(m forwardMsg) []byte {
+	w := types.NewWriter(m.Cmd.EncodedSize())
+	m.Cmd.Encode(w)
+	return w.Bytes()
+}
+
+func decodeForward(buf []byte) (forwardMsg, error) {
+	r := types.NewReader(buf)
+	m := forwardMsg{Cmd: types.DecodeCommandFrom(r)}
+	return m, wrapDecode("forward", r)
+}
+
+func wrapDecode(what string, r *types.Reader) error {
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("inband %s: %w", what, err)
+	}
+	return nil
+}

@@ -1,0 +1,272 @@
+package inband
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/statemachine"
+	"repro/internal/storage"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+// ErrConflict mirrors the composed system's error for racing
+// reconfigurations.
+var ErrConflict = errors.New("inband: a concurrent reconfiguration was chosen instead")
+
+// ErrStopped is returned after Stop.
+var ErrStopped = errors.New("inband: service stopped")
+
+type pendKey struct {
+	client types.NodeID
+	seq    uint64
+}
+
+type pendingCmd struct {
+	cmd        types.Command
+	responders []chan []byte
+}
+
+// Service applies the in-band engine's single log to a sessioned state
+// machine and exposes the same submit/reconfigure surface as the composed
+// system, so the harness can drive both identically.
+type Service struct {
+	self types.NodeID
+	eng  *Replica
+
+	mu          sync.Mutex
+	machine     *statemachine.Sessioned
+	pending     map[pendKey]*pendingCmd
+	appliedSlot types.Slot
+	configs     map[types.ConfigID]types.Config
+	maxSeenCfg  types.ConfigID
+	cfgWaiters  []chan struct{}
+	stopped     bool
+
+	stopCh   chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+	retry    time.Duration
+}
+
+// ServiceConfig wires a Service.
+type ServiceConfig struct {
+	Self     types.NodeID
+	Endpoint *transport.Endpoint
+	Store    storage.Store
+	Factory  statemachine.Factory
+	Initial  types.Config // same on every node, including future joiners
+	Stream   uint64
+	Opts     Options
+	// RetryInterval re-proposes pending commands. Default 20ms.
+	RetryInterval time.Duration
+}
+
+// NewService constructs and starts a node's in-band service.
+func NewService(c ServiceConfig) (*Service, error) {
+	if c.Self == "" || c.Endpoint == nil || c.Store == nil || c.Factory == nil {
+		return nil, fmt.Errorf("inband: incomplete service config")
+	}
+	if c.RetryInterval <= 0 {
+		c.RetryInterval = 20 * time.Millisecond
+	}
+	if c.Stream == 0 {
+		c.Stream = 1
+	}
+	eng, err := New(c.Initial, c.Self, c.Endpoint, c.Store, c.Stream, c.Opts)
+	if err != nil {
+		return nil, err
+	}
+	s := &Service{
+		self:       c.Self,
+		eng:        eng,
+		machine:    statemachine.NewSessioned(c.Factory()),
+		pending:    make(map[pendKey]*pendingCmd),
+		configs:    map[types.ConfigID]types.Config{c.Initial.ID: c.Initial.Clone()},
+		maxSeenCfg: c.Initial.ID,
+		stopCh:     make(chan struct{}),
+		retry:      c.RetryInterval,
+	}
+	if err := eng.Start(); err != nil {
+		return nil, err
+	}
+	s.wg.Add(2)
+	go s.applyLoop()
+	go s.retryLoop()
+	return s, nil
+}
+
+// Stop terminates the service and its engine.
+func (s *Service) Stop() {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return
+	}
+	s.stopped = true
+	s.mu.Unlock()
+	s.eng.Stop()
+	s.stopOnce.Do(func() { close(s.stopCh) })
+	s.wg.Wait()
+}
+
+// Engine exposes the underlying replica for stats and tests.
+func (s *Service) Engine() *Replica { return s.eng }
+
+func (s *Service) applyLoop() {
+	defer s.wg.Done()
+	for d := range s.eng.Decisions() {
+		s.mu.Lock()
+		if d.Slot > s.appliedSlot {
+			s.appliedSlot = d.Slot
+			switch d.Cmd.Kind {
+			case types.CmdReconfig:
+				if cfg, err := types.DecodeConfig(d.Cmd.Data); err == nil && cfg.ID == s.maxSeenCfg+1 {
+					s.configs[cfg.ID] = cfg
+					s.maxSeenCfg = cfg.ID
+					for _, ch := range s.cfgWaiters {
+						close(ch)
+					}
+					s.cfgWaiters = nil
+				}
+			case types.CmdApp:
+				reply, _ := s.machine.ApplyCommand(d.Cmd)
+				if d.Cmd.Client != "" {
+					key := pendKey{client: d.Cmd.Client, seq: d.Cmd.Seq}
+					if p, ok := s.pending[key]; ok {
+						delete(s.pending, key)
+						for _, ch := range p.responders {
+							select {
+							case ch <- reply:
+							default:
+							}
+						}
+					}
+				}
+			}
+		}
+		s.mu.Unlock()
+	}
+}
+
+func (s *Service) retryLoop() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.retry)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stopCh:
+			return
+		case <-ticker.C:
+			s.mu.Lock()
+			for _, p := range s.pending {
+				_ = s.eng.Propose(p.cmd)
+			}
+			s.mu.Unlock()
+		}
+	}
+}
+
+// Submit executes one client command through this node.
+func (s *Service) Submit(ctx context.Context, client types.NodeID, seq uint64, op []byte) ([]byte, error) {
+	cmd := types.Command{Kind: types.CmdApp, Client: client, Seq: seq, Data: op}
+	ch := make(chan []byte, 1)
+
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return nil, ErrStopped
+	}
+	if seq <= s.machine.LastSeq(client) {
+		reply, _ := s.machine.ApplyCommand(cmd)
+		s.mu.Unlock()
+		return reply, nil
+	}
+	key := pendKey{client: client, seq: seq}
+	p, ok := s.pending[key]
+	if !ok {
+		p = &pendingCmd{cmd: cmd}
+		s.pending[key] = p
+	}
+	p.responders = append(p.responders, ch)
+	s.mu.Unlock()
+
+	_ = s.eng.Propose(cmd)
+	select {
+	case reply := <-ch:
+		return reply, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-s.stopCh:
+		return nil, ErrStopped
+	}
+}
+
+// Reconfigure proposes a membership change in-band and waits for the config
+// command to be decided (activation follows α slots later, pushed by noops).
+func (s *Service) Reconfigure(ctx context.Context, members []types.NodeID) (types.Config, error) {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return types.Config{}, ErrStopped
+	}
+	baseID := s.maxSeenCfg
+	newCfg, err := types.NewConfig(baseID+1, members)
+	if err != nil {
+		s.mu.Unlock()
+		return types.Config{}, err
+	}
+	s.mu.Unlock()
+
+	cmd := types.ReconfigCommand(newCfg)
+	ticker := time.NewTicker(s.retry * 2)
+	defer ticker.Stop()
+	for {
+		s.mu.Lock()
+		if s.maxSeenCfg > baseID {
+			won := s.configs[newCfg.ID]
+			s.mu.Unlock()
+			if won.Equal(newCfg) {
+				return newCfg, nil
+			}
+			return won, ErrConflict
+		}
+		ch := make(chan struct{})
+		s.cfgWaiters = append(s.cfgWaiters, ch)
+		s.mu.Unlock()
+
+		_ = s.eng.Propose(cmd)
+		select {
+		case <-ch:
+		case <-ticker.C:
+		case <-ctx.Done():
+			return types.Config{}, ctx.Err()
+		case <-s.stopCh:
+			return types.Config{}, ErrStopped
+		}
+	}
+}
+
+// CurrentConfig returns the latest configuration this node has seen decided.
+func (s *Service) CurrentConfig() types.Config {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.configs[s.maxSeenCfg].Clone()
+}
+
+// AppliedSlot returns the node's applied log position.
+func (s *Service) AppliedSlot() types.Slot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.appliedSlot
+}
+
+// Machine exposes the sessioned machine for test inspection.
+func (s *Service) Machine() *statemachine.Sessioned {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.machine
+}

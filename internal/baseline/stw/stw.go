@@ -1,0 +1,380 @@
+// Package stw is the stop-the-world reconfiguration baseline: the obvious
+// way to change the membership of a non-reconfigurable SMR service. To move
+// from configuration A to configuration B, an operator halts every member of
+// A, copies the state of the most advanced replica, boots a fresh static
+// engine on B's members from that state, and points clients at B.
+//
+// The service is unavailable from the first Halt until B's engine elects a
+// leader — the entire drain + transfer + boot interval — which is exactly
+// the disruption the paper's composition avoids. Experiments F1/T2 quantify
+// the difference.
+//
+// Safety note: the snapshot chosen is the maximum applied prefix across the
+// halted members. Every acknowledged command is applied at its serving
+// member before the acknowledgment, so acknowledged state is always inside
+// the chosen prefix.
+package stw
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/paxos"
+	"repro/internal/smr"
+	"repro/internal/statemachine"
+	"repro/internal/storage"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+// ErrHalted is returned by Submit while the world is stopped.
+var ErrHalted = errors.New("stw: service halted for reconfiguration")
+
+// ErrNotMember is returned by Submit on a node outside the current
+// configuration.
+var ErrNotMember = errors.New("stw: node is not a member of the current configuration")
+
+type pendKey struct {
+	client types.NodeID
+	seq    uint64
+}
+
+type pendingCmd struct {
+	cmd        types.Command
+	responders []chan []byte
+}
+
+// Service is one node's stop-the-world SMR runtime.
+type Service struct {
+	self    types.NodeID
+	ep      *transport.Endpoint
+	store   storage.Store
+	factory statemachine.Factory
+	popts   paxos.Options
+	retry   time.Duration
+
+	mu          sync.Mutex
+	epoch       uint64
+	cfg         types.Config
+	eng         *paxos.Replica
+	engDone     chan struct{}
+	machine     *statemachine.Sessioned
+	pending     map[pendKey]*pendingCmd
+	appliedSlot types.Slot
+	halted      bool
+	stopped     bool
+
+	stopCh   chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// Config wires a Service to its substrate.
+type Config struct {
+	Self     types.NodeID
+	Endpoint *transport.Endpoint
+	Store    storage.Store
+	Factory  statemachine.Factory
+	Paxos    paxos.Options
+	// RetryInterval re-proposes pending commands. Default 20ms.
+	RetryInterval time.Duration
+}
+
+// NewService constructs a halted, configuration-less service. Call
+// BootInitial on initial members, or Boot during a reconfiguration.
+func NewService(c Config) (*Service, error) {
+	if c.Self == "" || c.Endpoint == nil || c.Store == nil || c.Factory == nil {
+		return nil, fmt.Errorf("stw: incomplete config")
+	}
+	if c.RetryInterval <= 0 {
+		c.RetryInterval = 20 * time.Millisecond
+	}
+	s := &Service{
+		self:    c.Self,
+		ep:      c.Endpoint,
+		store:   c.Store,
+		factory: c.Factory,
+		popts:   c.Paxos,
+		retry:   c.RetryInterval,
+		machine: statemachine.NewSessioned(c.Factory()),
+		pending: make(map[pendKey]*pendingCmd),
+		halted:  true,
+		stopCh:  make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go s.retryLoop()
+	return s, nil
+}
+
+// BootInitial starts epoch 1 from an empty machine.
+func (s *Service) BootInitial(cfg types.Config) error {
+	return s.Boot(1, cfg, statemachine.NewSessioned(s.factory()).Snapshot())
+}
+
+// Boot installs snapshot and starts a fresh engine for cfg at the given
+// epoch (the engine's transport stream). Non-members just record the config.
+func (s *Service) Boot(epoch uint64, cfg types.Config, snapshot []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopped {
+		return fmt.Errorf("stw: service stopped")
+	}
+	if s.eng != nil {
+		return fmt.Errorf("stw: boot while an engine is running (epoch %d)", s.epoch)
+	}
+	s.epoch = epoch
+	s.cfg = cfg.Clone()
+	s.appliedSlot = 0
+	machine := statemachine.NewSessioned(s.factory())
+	if err := machine.Restore(snapshot); err != nil {
+		return fmt.Errorf("stw boot restore: %w", err)
+	}
+	s.machine = machine
+	if !cfg.IsMember(s.self) {
+		s.halted = true
+		return nil
+	}
+	eng, err := paxos.New(cfg, s.self, s.ep, s.store, epoch, s.popts)
+	if err != nil {
+		return err
+	}
+	if err := eng.Start(); err != nil {
+		return err
+	}
+	s.eng = eng
+	s.engDone = make(chan struct{})
+	s.halted = false
+	s.wg.Add(1)
+	go s.consume(eng, s.engDone)
+	return nil
+}
+
+// Halt stops the world at this node: the engine is torn down and Submit
+// fails until the next Boot. It returns the applied snapshot and its slot.
+func (s *Service) Halt() (snapshot []byte, applied types.Slot, err error) {
+	s.mu.Lock()
+	if s.halted && s.eng == nil {
+		snap := s.machine.Snapshot()
+		applied := s.appliedSlot
+		s.mu.Unlock()
+		return snap, applied, nil
+	}
+	s.halted = true
+	eng := s.eng
+	done := s.engDone
+	s.eng = nil
+	s.mu.Unlock()
+
+	if eng != nil {
+		eng.Stop()
+		<-done
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.machine.Snapshot(), s.appliedSlot, nil
+}
+
+// Stop terminates the service permanently.
+func (s *Service) Stop() {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return
+	}
+	s.stopped = true
+	s.halted = true
+	eng := s.eng
+	done := s.engDone
+	s.eng = nil
+	s.mu.Unlock()
+	s.stopOnce.Do(func() { close(s.stopCh) })
+	if eng != nil {
+		eng.Stop()
+		<-done
+	}
+	s.wg.Wait()
+}
+
+func (s *Service) consume(eng *paxos.Replica, done chan struct{}) {
+	defer s.wg.Done()
+	defer close(done)
+	for d := range eng.Decisions() {
+		s.apply(d)
+	}
+}
+
+func (s *Service) apply(d smr.Decision) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if d.Slot <= s.appliedSlot {
+		return
+	}
+	s.appliedSlot = d.Slot
+	s.applyCmdLocked(d.Cmd)
+}
+
+func (s *Service) applyCmdLocked(cmd types.Command) {
+	if cmd.Kind == types.CmdBatch {
+		subs, err := types.DecodeBatch(cmd.Data)
+		if err != nil {
+			return
+		}
+		for _, sub := range subs {
+			s.applyCmdLocked(sub)
+		}
+		return
+	}
+	reply, _ := s.machine.ApplyCommand(cmd)
+	if cmd.Client == "" {
+		return
+	}
+	key := pendKey{client: cmd.Client, seq: cmd.Seq}
+	if p, ok := s.pending[key]; ok {
+		delete(s.pending, key)
+		for _, ch := range p.responders {
+			select {
+			case ch <- reply:
+			default:
+			}
+		}
+	}
+}
+
+func (s *Service) retryLoop() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.retry)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stopCh:
+			return
+		case <-ticker.C:
+			s.mu.Lock()
+			eng := s.eng
+			if eng != nil && !s.halted {
+				for _, p := range s.pending {
+					_ = eng.Propose(p.cmd)
+				}
+			}
+			s.mu.Unlock()
+		}
+	}
+}
+
+// Submit executes one client command through this node.
+func (s *Service) Submit(ctx context.Context, client types.NodeID, seq uint64, op []byte) ([]byte, error) {
+	cmd := types.Command{Kind: types.CmdApp, Client: client, Seq: seq, Data: op}
+	ch := make(chan []byte, 1)
+
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("stw: service stopped")
+	}
+	if s.halted || s.eng == nil {
+		s.mu.Unlock()
+		return nil, ErrHalted
+	}
+	if !s.cfg.IsMember(s.self) {
+		s.mu.Unlock()
+		return nil, ErrNotMember
+	}
+	if seq <= s.machine.LastSeq(client) {
+		reply, _ := s.machine.ApplyCommand(cmd)
+		s.mu.Unlock()
+		return reply, nil
+	}
+	key := pendKey{client: client, seq: seq}
+	p, ok := s.pending[key]
+	if !ok {
+		p = &pendingCmd{cmd: cmd}
+		s.pending[key] = p
+	}
+	p.responders = append(p.responders, ch)
+	eng := s.eng
+	s.mu.Unlock()
+
+	_ = eng.Propose(cmd)
+	select {
+	case reply := <-ch:
+		return reply, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-s.stopCh:
+		return nil, fmt.Errorf("stw: service stopped")
+	}
+}
+
+// AppliedSlot returns this node's applied position (test/orchestration aid).
+func (s *Service) AppliedSlot() types.Slot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.appliedSlot
+}
+
+// CurrentConfig returns the configuration this node last booted.
+func (s *Service) CurrentConfig() types.Config {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cfg.Clone()
+}
+
+// Halted reports whether the service is currently stopped for reconfiguration.
+func (s *Service) Halted() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.halted
+}
+
+// Reconfigure is the operator procedure: halt every member of the old
+// configuration, pick the most advanced snapshot, and boot the new
+// configuration from it. It returns the chosen snapshot size in bytes.
+//
+// The services map must contain a Service for every member of both
+// configurations. The world is stopped for the whole call.
+func Reconfigure(services map[types.NodeID]*Service, oldCfg, newCfg types.Config, epoch uint64) (int, error) {
+	var best []byte
+	var bestSlot types.Slot = 0
+	first := true
+	for _, m := range oldCfg.Members {
+		svc, ok := services[m]
+		if !ok {
+			continue // crashed/absent member: proceed with survivors
+		}
+		snap, slot, err := svc.Halt()
+		if err != nil {
+			return 0, fmt.Errorf("halt %s: %w", m, err)
+		}
+		if first || slot > bestSlot {
+			best, bestSlot, first = snap, slot, false
+		}
+	}
+	if first {
+		return 0, fmt.Errorf("stw: no old member reachable")
+	}
+	for _, m := range newCfg.Members {
+		svc, ok := services[m]
+		if !ok {
+			return len(best), fmt.Errorf("stw: new member %s has no service", m)
+		}
+		if err := svc.Boot(epoch, newCfg, best); err != nil {
+			return len(best), fmt.Errorf("boot %s: %w", m, err)
+		}
+	}
+	// Old members outside the new configuration stay halted; record the
+	// new config on them so they report membership correctly.
+	for _, m := range oldCfg.Members {
+		if newCfg.IsMember(m) {
+			continue
+		}
+		if svc, ok := services[m]; ok {
+			svc.mu.Lock()
+			svc.cfg = newCfg.Clone()
+			svc.mu.Unlock()
+		}
+	}
+	return len(best), nil
+}

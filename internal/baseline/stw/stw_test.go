@@ -1,0 +1,284 @@
+package stw
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/paxos"
+	"repro/internal/statemachine"
+	"repro/internal/storage"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+type stwWorld struct {
+	t    *testing.T
+	net  *transport.Network
+	svcs map[types.NodeID]*Service
+	mu   sync.Mutex
+}
+
+func fastPaxos() paxos.Options {
+	return paxos.Options{
+		TickInterval:         time.Millisecond,
+		HeartbeatEveryTicks:  2,
+		ElectionTimeoutTicks: 10,
+		ElectionJitterTicks:  10,
+	}
+}
+
+func newSTWWorld(t *testing.T, ids ...types.NodeID) *stwWorld {
+	w := &stwWorld{
+		t:    t,
+		net:  transport.NewNetwork(transport.Options{BaseLatency: 100 * time.Microsecond}),
+		svcs: make(map[types.NodeID]*Service),
+	}
+	for _, id := range ids {
+		svc, err := NewService(Config{
+			Self:          id,
+			Endpoint:      w.net.Endpoint(id),
+			Store:         storage.NewMem(),
+			Factory:       statemachine.NewCounterMachine,
+			Paxos:         fastPaxos(),
+			RetryInterval: 10 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.svcs[id] = svc
+	}
+	t.Cleanup(func() {
+		for _, s := range w.svcs {
+			s.Stop()
+		}
+		w.net.Close()
+	})
+	return w
+}
+
+func (w *stwWorld) submit(via, client types.NodeID, seq uint64, op []byte) []byte {
+	w.t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		reply, err := w.svcs[via].Submit(ctx, client, seq, op)
+		cancel()
+		if err == nil {
+			return reply
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	w.t.Fatalf("submit via %s never succeeded", via)
+	return nil
+}
+
+func TestSTWBasicService(t *testing.T) {
+	w := newSTWWorld(t, "n1", "n2", "n3")
+	cfg := types.MustConfig(1, "n1", "n2", "n3")
+	for _, id := range cfg.Members {
+		if err := w.svcs[id].BootInitial(cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.submit("n1", "c", 1, statemachine.EncodeAdd(3))
+	reply := w.submit("n2", "c", 2, statemachine.EncodeCounterGet())
+	v, _ := statemachine.DecodeUvarintReply(statemachine.ReplyPayload(reply))
+	if v != 3 {
+		t.Fatalf("counter = %d", v)
+	}
+}
+
+func TestSTWSubmitWhileHaltedFails(t *testing.T) {
+	w := newSTWWorld(t, "n1")
+	svc := w.svcs["n1"]
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if _, err := svc.Submit(ctx, "c", 1, statemachine.EncodeAdd(1)); !errors.Is(err, ErrHalted) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSTWReconfigureCarriesState(t *testing.T) {
+	w := newSTWWorld(t, "n1", "n2", "n3", "m1", "m2", "m3")
+	oldCfg := types.MustConfig(1, "n1", "n2", "n3")
+	for _, id := range oldCfg.Members {
+		if err := w.svcs[id].BootInitial(oldCfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.submit("n1", "c", 1, statemachine.EncodeAdd(11))
+
+	newCfg := types.MustConfig(2, "m1", "m2", "m3")
+	size, err := Reconfigure(w.svcs, oldCfg, newCfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size == 0 {
+		t.Fatal("empty snapshot transferred")
+	}
+
+	reply := w.submit("m1", "c", 2, statemachine.EncodeCounterGet())
+	v, _ := statemachine.DecodeUvarintReply(statemachine.ReplyPayload(reply))
+	if v != 11 {
+		t.Fatalf("state lost: %d", v)
+	}
+
+	// Old members are halted and refuse.
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if _, err := w.svcs["n1"].Submit(ctx, "c", 3, statemachine.EncodeCounterGet()); !errors.Is(err, ErrHalted) {
+		t.Fatalf("old member err = %v", err)
+	}
+}
+
+func TestSTWDowntimeWindowExists(t *testing.T) {
+	// During Reconfigure there must be a window where NO node serves: this
+	// is the defining property of the baseline.
+	w := newSTWWorld(t, "n1", "n2", "n3")
+	oldCfg := types.MustConfig(1, "n1", "n2", "n3")
+	for _, id := range oldCfg.Members {
+		if err := w.svcs[id].BootInitial(oldCfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.submit("n1", "c", 1, statemachine.EncodeAdd(1))
+
+	// Halt all members; every submit must fail.
+	for _, id := range oldCfg.Members {
+		if _, _, err := w.svcs[id].Halt(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, id := range oldCfg.Members {
+		ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+		_, err := w.svcs[id].Submit(ctx, "c", 2, statemachine.EncodeAdd(1))
+		cancel()
+		if !errors.Is(err, ErrHalted) {
+			t.Fatalf("node %s served while halted: %v", id, err)
+		}
+	}
+
+	// Boot config 2 on the same members; service resumes with state.
+	newCfg := types.MustConfig(2, "n1", "n2", "n3")
+	snap, _, _ := w.svcs["n1"].Halt() // idempotent on halted service
+	for _, id := range newCfg.Members {
+		if err := w.svcs[id].Boot(2, newCfg, snap); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reply := w.submit("n2", "c", 2, statemachine.EncodeCounterGet())
+	v, _ := statemachine.DecodeUvarintReply(statemachine.ReplyPayload(reply))
+	if v != 1 {
+		t.Fatalf("counter after boot = %d", v)
+	}
+}
+
+func TestSTWDedupAcrossReconfigure(t *testing.T) {
+	w := newSTWWorld(t, "n1", "n2", "n3")
+	oldCfg := types.MustConfig(1, "n1", "n2", "n3")
+	for _, id := range oldCfg.Members {
+		if err := w.svcs[id].BootInitial(oldCfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.submit("n1", "c", 1, statemachine.EncodeAdd(5))
+
+	newCfg := types.MustConfig(2, "n1", "n2", "n3")
+	if _, err := Reconfigure(w.svcs, oldCfg, newCfg, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Retry of seq 1 after the restart must hit the session table.
+	reply := w.submit("n1", "c", 1, statemachine.EncodeAdd(5))
+	v, _ := statemachine.DecodeUvarintReply(statemachine.ReplyPayload(reply))
+	if v != 5 {
+		t.Fatalf("dedup across stw reconfig broken: %d", v)
+	}
+	reply = w.submit("n1", "c", 2, statemachine.EncodeCounterGet())
+	if v, _ = statemachine.DecodeUvarintReply(statemachine.ReplyPayload(reply)); v != 5 {
+		t.Fatalf("counter = %d", v)
+	}
+}
+
+func TestSTWChainedEpochs(t *testing.T) {
+	w := newSTWWorld(t, "n1", "n2", "n3", "n4")
+	cfg := types.MustConfig(1, "n1", "n2", "n3")
+	for _, id := range cfg.Members {
+		if err := w.svcs[id].BootInitial(cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seq := uint64(1)
+	cur := cfg
+	for epoch := uint64(2); epoch <= 4; epoch++ {
+		w.submit(cur.Members[0], "c", seq, statemachine.EncodeAdd(1))
+		seq++
+		next := types.MustConfig(types.ConfigID(epoch), "n1", "n2", "n3", "n4")
+		if epoch%2 == 1 {
+			next = types.MustConfig(types.ConfigID(epoch), "n2", "n3", "n4")
+		}
+		if _, err := Reconfigure(w.svcs, cur, next, epoch); err != nil {
+			t.Fatalf("epoch %d: %v", epoch, err)
+		}
+		cur = next
+	}
+	reply := w.submit(cur.Members[0], "c", seq, statemachine.EncodeCounterGet())
+	v, _ := statemachine.DecodeUvarintReply(statemachine.ReplyPayload(reply))
+	if v != 3 {
+		t.Fatalf("counter = %d", v)
+	}
+}
+
+func TestSTWReconfigureWithCrashedOldMember(t *testing.T) {
+	w := newSTWWorld(t, "n1", "n2", "n3")
+	cfg := types.MustConfig(1, "n1", "n2", "n3")
+	for _, id := range cfg.Members {
+		if err := w.svcs[id].BootInitial(cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.submit("n1", "c", 1, statemachine.EncodeAdd(2))
+
+	// n3 crashed: remove its service from the map entirely.
+	w.svcs["n3"].Stop()
+	services := map[types.NodeID]*Service{"n1": w.svcs["n1"], "n2": w.svcs["n2"]}
+	newCfg := types.MustConfig(2, "n1", "n2")
+	if _, err := Reconfigure(services, cfg, newCfg, 2); err != nil {
+		t.Fatal(err)
+	}
+	reply := w.submit("n1", "c", 2, statemachine.EncodeCounterGet())
+	v, _ := statemachine.DecodeUvarintReply(statemachine.ReplyPayload(reply))
+	if v != 2 {
+		t.Fatalf("counter = %d", v)
+	}
+}
+
+func TestSTWConcurrentSubmitters(t *testing.T) {
+	w := newSTWWorld(t, "n1", "n2", "n3")
+	cfg := types.MustConfig(1, "n1", "n2", "n3")
+	for _, id := range cfg.Members {
+		if err := w.svcs[id].BootInitial(cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			client := types.NodeID(fmt.Sprintf("c%d", g))
+			for seq := uint64(1); seq <= 20; seq++ {
+				w.submit(cfg.Members[g%3], client, seq, statemachine.EncodeAdd(1))
+			}
+		}(g)
+	}
+	wg.Wait()
+	reply := w.submit("n1", "q", 1, statemachine.EncodeCounterGet())
+	v, _ := statemachine.DecodeUvarintReply(statemachine.ReplyPayload(reply))
+	if v != 80 {
+		t.Fatalf("counter = %d", v)
+	}
+}

@@ -1,0 +1,274 @@
+// Package client is the user-facing library for the reconfigurable SMR
+// service. A Client tracks the configuration chain as it evolves: it caches
+// the current configuration and leader hint, follows redirects left by
+// wedged configurations, retries across reconfigurations, and guarantees
+// at-most-once execution through per-session sequence numbers (commands are
+// always retried under the same sequence number until acknowledged).
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/reconfig"
+	"repro/internal/rpc"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+// Options tunes the client's retry behavior. Zero values take defaults.
+type Options struct {
+	// AttemptTimeout bounds one RPC attempt. Default 500ms.
+	AttemptTimeout time.Duration
+	// Resend is the in-attempt RPC retransmission interval. Default 50ms.
+	Resend time.Duration
+	// RetryBackoff is the pause between failed attempts. Default 5ms.
+	RetryBackoff time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.AttemptTimeout <= 0 {
+		o.AttemptTimeout = 500 * time.Millisecond
+	}
+	if o.Resend <= 0 {
+		o.Resend = 50 * time.Millisecond
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 5 * time.Millisecond
+	}
+	return o
+}
+
+// Stats counts the client's control-plane activity.
+type Stats struct {
+	Submits   int64 // completed Submit calls
+	Attempts  int64 // individual RPC attempts
+	Redirects int64 // redirect replies followed
+}
+
+// ErrClosed is returned after Close.
+var ErrClosed = errors.New("client: closed")
+
+// Client is a session against the replicated service.
+type Client struct {
+	id    types.NodeID
+	peer  *rpc.Peer
+	seeds []types.NodeID
+	opts  Options
+
+	mu     sync.Mutex
+	seq    uint64
+	cfg    types.Config
+	leader types.NodeID
+	rr     int // round-robin cursor
+	closed bool
+	stats  Stats
+}
+
+// New creates a client identified by id (its session name), attached to the
+// network via ep, knowing at least the seed nodes.
+func New(id types.NodeID, ep *transport.Endpoint, seeds []types.NodeID, opts Options) *Client {
+	return &Client{
+		id:    id,
+		peer:  rpc.NewPeer(ep, reconfig.ControlStream, nil),
+		seeds: types.CloneNodeIDs(seeds),
+		opts:  opts.withDefaults(),
+	}
+}
+
+// Close releases the client's transport resources.
+func (c *Client) Close() {
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+	c.peer.Close()
+}
+
+// ID returns the client's session identifier.
+func (c *Client) ID() types.NodeID { return c.id }
+
+// Stats returns a snapshot of the client's counters.
+func (c *Client) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// KnownConfig returns the client's cached configuration (zero before the
+// first successful interaction).
+func (c *Client) KnownConfig() types.Config {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cfg.Clone()
+}
+
+// nextTarget picks where to send the next attempt: the cached leader if it
+// is still a member, else round-robin over the cached configuration, else
+// the seeds.
+func (c *Client) nextTarget() types.NodeID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.leader != "" && c.cfg.IsMember(c.leader) {
+		lead := c.leader
+		c.leader = "" // use it once; a failure falls back to rotation
+		return lead
+	}
+	pool := c.cfg.Members
+	if len(pool) == 0 {
+		pool = c.seeds
+	}
+	if len(pool) == 0 {
+		return ""
+	}
+	c.rr++
+	return pool[c.rr%len(pool)]
+}
+
+// observe folds hints from a reply into the cache.
+func (c *Client) observe(cfg types.Config, leader types.NodeID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cfg.ID > c.cfg.ID {
+		c.cfg = cfg.Clone()
+	}
+	if leader != "" {
+		c.leader = leader
+	}
+}
+
+// Submit executes op with a fresh sequence number, retrying across leader
+// changes and reconfigurations until acknowledged or ctx expires.
+func (c *Client) Submit(ctx context.Context, op []byte) ([]byte, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	c.seq++
+	seq := c.seq
+	c.mu.Unlock()
+	return c.SubmitSeq(ctx, seq, op)
+}
+
+// SubmitSeq executes op under an explicit sequence number. Re-invoking with
+// the same seq is safe (at-most-once); it returns the original reply.
+func (c *Client) SubmitSeq(ctx context.Context, seq uint64, op []byte) ([]byte, error) {
+	cmd := types.Command{Kind: types.CmdApp, Client: c.id, Seq: seq, Data: op}
+	req := reconfig.EncodeSubmitRequest(cmd)
+	for {
+		target := c.nextTarget()
+		if target == "" {
+			return nil, fmt.Errorf("client: no known nodes")
+		}
+		c.mu.Lock()
+		c.stats.Attempts++
+		c.mu.Unlock()
+
+		attempt, cancel := context.WithTimeout(ctx, c.opts.AttemptTimeout)
+		resp, err := c.peer.Call(attempt, target, req, c.opts.Resend)
+		cancel()
+		if err == nil {
+			if res, derr := reconfig.DecodeSubmitResult(resp); derr == nil {
+				c.observe(res.Config, res.Leader)
+				switch res.Status {
+				case reconfig.SubmitApplied:
+					c.mu.Lock()
+					c.stats.Submits++
+					c.mu.Unlock()
+					return res.Reply, nil
+				case reconfig.SubmitRedirect:
+					c.mu.Lock()
+					c.stats.Redirects++
+					c.mu.Unlock()
+				}
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(c.opts.RetryBackoff):
+		}
+	}
+}
+
+// Locate queries any reachable node for the current configuration.
+func (c *Client) Locate(ctx context.Context) (types.Config, error) {
+	req := reconfig.EncodeLocateRequest()
+	for {
+		target := c.nextTarget()
+		if target == "" {
+			return types.Config{}, fmt.Errorf("client: no known nodes")
+		}
+		attempt, cancel := context.WithTimeout(ctx, c.opts.AttemptTimeout)
+		resp, err := c.peer.Call(attempt, target, req, c.opts.Resend)
+		cancel()
+		if err == nil {
+			if res, derr := reconfig.DecodeLocateResult(resp); derr == nil && res.Config.ID != 0 {
+				c.observe(res.Config, res.Leader)
+				return res.Config, nil
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return types.Config{}, ctx.Err()
+		case <-time.After(c.opts.RetryBackoff):
+		}
+	}
+}
+
+// Reconfigure asks the service (via any member) to change membership.
+func (c *Client) Reconfigure(ctx context.Context, members []types.NodeID) (types.Config, error) {
+	req := reconfig.EncodeReconfigRequest(members)
+	for {
+		target := c.nextTarget()
+		if target == "" {
+			return types.Config{}, fmt.Errorf("client: no known nodes")
+		}
+		// Reconfiguration includes consensus + transfer: allow a longer
+		// attempt than a plain submit.
+		attempt, cancel := context.WithTimeout(ctx, 4*c.opts.AttemptTimeout)
+		resp, err := c.peer.Call(attempt, target, req, c.opts.Resend)
+		cancel()
+		if err == nil {
+			if res, derr := reconfig.DecodeReconfigResult(resp); derr == nil {
+				if res.OK {
+					c.observe(res.Config, "")
+					return res.Config, nil
+				}
+				// Not-serving nodes report a reason; rotate and retry.
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return types.Config{}, ctx.Err()
+		case <-time.After(c.opts.RetryBackoff):
+		}
+	}
+}
+
+// Chain fetches the configuration chain from any reachable node.
+func (c *Client) Chain(ctx context.Context) (reconfig.ChainResult, error) {
+	req := reconfig.EncodeChainRequest()
+	for {
+		target := c.nextTarget()
+		if target == "" {
+			return reconfig.ChainResult{}, fmt.Errorf("client: no known nodes")
+		}
+		attempt, cancel := context.WithTimeout(ctx, c.opts.AttemptTimeout)
+		resp, err := c.peer.Call(attempt, target, req, c.opts.Resend)
+		cancel()
+		if err == nil {
+			if res, derr := reconfig.DecodeChainResult(resp); derr == nil {
+				return res, nil
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return reconfig.ChainResult{}, ctx.Err()
+		case <-time.After(c.opts.RetryBackoff):
+		}
+	}
+}

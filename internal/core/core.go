@@ -1,0 +1,58 @@
+// Package core is the façade for the paper's primary contribution — the
+// reconfigurable state machine replication layer composed from static,
+// non-reconfigurable consensus engines. The implementation lives in
+// internal/reconfig; this package re-exports its public surface under the
+// repository layout's canonical name so that readers can start here.
+//
+// Layering:
+//
+//	client  ──RPC──▶  core/reconfig.Node  ──drives──▶  paxos.Replica (one per configuration)
+//	                        │                              │
+//	                   statemachine.Sessioned          transport + storage
+//
+// See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+// evaluation.
+package core
+
+import (
+	"repro/internal/reconfig"
+)
+
+// Node is the reconfigurable SMR runtime for one process.
+type Node = reconfig.Node
+
+// NodeConfig wires a Node to its substrate.
+type NodeConfig = reconfig.NodeConfig
+
+// Options tunes the composition layer.
+type Options = reconfig.Options
+
+// NodeStats is a snapshot of a node's counters.
+type NodeStats = reconfig.NodeStats
+
+// ChainRecord links a configuration to its unique successor.
+type ChainRecord = reconfig.ChainRecord
+
+// SubmitStatus describes the outcome of a submit RPC.
+type SubmitStatus = reconfig.SubmitStatus
+
+// Submit statuses.
+const (
+	SubmitApplied  = reconfig.SubmitApplied
+	SubmitRedirect = reconfig.SubmitRedirect
+	SubmitBusy     = reconfig.SubmitBusy
+)
+
+// ControlStream is the transport stream of the control plane.
+const ControlStream = reconfig.ControlStream
+
+// Errors re-exported from the implementation package.
+var (
+	ErrNotServing      = reconfig.ErrNotServing
+	ErrConflict        = reconfig.ErrConflict
+	ErrStopped         = reconfig.ErrStopped
+	ErrNotBootstrapped = reconfig.ErrNotBootstrapped
+)
+
+// NewNode constructs a Node; see reconfig.NewNode.
+func NewNode(nc NodeConfig) (*Node, error) { return reconfig.NewNode(nc) }

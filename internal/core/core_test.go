@@ -1,0 +1,85 @@
+package core_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/statemachine"
+	"repro/internal/storage"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+// TestCoreFacade exercises the contribution through its canonical import
+// path: boot a single-node service via core aliases, write, reconfigure.
+func TestCoreFacade(t *testing.T) {
+	net := transport.NewNetwork(transport.Options{})
+	defer net.Close()
+
+	mk := func(id types.NodeID) *core.Node {
+		n, err := core.NewNode(core.NodeConfig{
+			Self:     id,
+			Endpoint: net.Endpoint(id),
+			Store:    storage.NewMem(),
+			Factory:  statemachine.NewCounterMachine,
+			Opts: core.Options{
+				RetryInterval: 10 * time.Millisecond,
+				LingerOld:     200 * time.Millisecond,
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	n1 := mk("n1")
+	defer n1.Stop()
+	if err := n1.Bootstrap(types.MustConfig(1, "n1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := n1.Start(); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := n1.WaitServing(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n1.Submit(ctx, "c", 1, statemachine.EncodeAdd(2)); err != nil {
+		t.Fatal(err)
+	}
+
+	n2 := mk("n2")
+	defer n2.Stop()
+	if err := n2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := n1.Reconfigure(ctx, []types.NodeID{"n1", "n2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.ID != 2 {
+		t.Fatalf("cfg %v", cfg)
+	}
+	if err := n2.WaitServing(ctx); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := n2.Submit(ctx, "c", 2, statemachine.EncodeCounterGet())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := statemachine.DecodeUvarintReply(statemachine.ReplyPayload(reply))
+	if v != 2 {
+		t.Fatalf("value %d", v)
+	}
+
+	// Error aliases resolve to the implementation's values.
+	if core.ErrNotServing == nil || core.ErrConflict == nil || core.ErrStopped == nil || core.ErrNotBootstrapped == nil {
+		t.Fatal("error aliases nil")
+	}
+	if core.SubmitApplied.String() != "applied" {
+		t.Fatal("status alias broken")
+	}
+}

@@ -1,0 +1,497 @@
+// Package harness runs the experiments defined in DESIGN.md/EXPERIMENTS.md:
+// it deploys each of the three systems (the paper's composed reconfigurable
+// SMR, the stop-the-world baseline, and the in-band α-window baseline)
+// behind one uniform interface, drives closed-loop client load, injects
+// reconfigurations and failures, and reports tables and time series.
+//
+// All measurements use in-process submits on the serving nodes so the three
+// systems are charged identically (no client RPC plane in the way), and all
+// replication traffic crosses the simulated network where it is counted.
+package harness
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/baseline/inband"
+	"repro/internal/baseline/stw"
+	"repro/internal/paxos"
+	"repro/internal/reconfig"
+	"repro/internal/statemachine"
+	"repro/internal/storage"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+// SystemKind names one of the three systems under test.
+type SystemKind uint8
+
+const (
+	// Composed is the paper's contribution: chained static engines.
+	Composed SystemKind = 1
+	// StopTheWorld is the halt-copy-reboot baseline.
+	StopTheWorld SystemKind = 2
+	// Inband is the α-window single-log baseline.
+	Inband SystemKind = 3
+)
+
+// String implements fmt.Stringer.
+func (k SystemKind) String() string {
+	switch k {
+	case Composed:
+		return "composed"
+	case StopTheWorld:
+		return "stop-the-world"
+	case Inband:
+		return "inband"
+	default:
+		return fmt.Sprintf("system(%d)", uint8(k))
+	}
+}
+
+// Deployment is the uniform handle the experiments drive.
+type Deployment interface {
+	// Submit executes one command for the given client session, retrying
+	// internally only across node choice (not across time): a transient
+	// outage surfaces as an error so the caller's retry loop observes it.
+	Submit(ctx context.Context, clientID types.NodeID, seq uint64, op []byte) ([]byte, error)
+	// Reconfigure moves the service to the given member set.
+	Reconfigure(ctx context.Context, members []types.NodeID) error
+	// Members returns the current configuration's member set.
+	Members() []types.NodeID
+	// NetStats returns the transport accounting counters.
+	NetStats() transport.Stats
+	// ResetNetStats zeroes the transport accounting counters.
+	ResetNetStats()
+	// Violations returns the total invariant violations observed.
+	Violations() int64
+	// Close tears the deployment down.
+	Close()
+}
+
+// Tuning holds the timing shared by every deployment in an experiment.
+type Tuning struct {
+	Net      transport.Options
+	Tick     time.Duration
+	Retry    time.Duration
+	Alpha    int  // inband only
+	SpecOff  bool // composed only: disable speculative engine start
+	MaxDepth int  // paxos pipeline depth (0 = default)
+	Batch    int  // paxos commands per slot (0/1 = no batching; A1 ablation)
+}
+
+// DefaultTuning is the experiment-wide timing preset: ~200µs one-way links
+// with 100µs jitter and 1ms consensus ticks.
+func DefaultTuning() Tuning {
+	return Tuning{
+		Net: transport.Options{
+			BaseLatency: 200 * time.Microsecond,
+			Jitter:      100 * time.Microsecond,
+			Seed:        1,
+		},
+		Tick:  time.Millisecond,
+		Retry: 10 * time.Millisecond,
+		Alpha: 4,
+	}
+}
+
+func (t Tuning) paxosOpts() paxos.Options {
+	return paxos.Options{
+		TickInterval:         t.Tick,
+		HeartbeatEveryTicks:  2,
+		ElectionTimeoutTicks: 10,
+		ElectionJitterTicks:  10,
+		MaxInflight:          t.MaxDepth,
+		BatchSize:            t.Batch,
+	}
+}
+
+// NewDeployment builds a deployment of the given kind with `initial` as
+// configuration 1 and `spares` started but idle.
+func NewDeployment(kind SystemKind, tuning Tuning, factory statemachine.Factory, initial, spares []types.NodeID) (Deployment, error) {
+	switch kind {
+	case Composed:
+		return newComposed(tuning, factory, initial, spares)
+	case StopTheWorld:
+		return newSTW(tuning, factory, initial, spares)
+	case Inband:
+		return newInband(tuning, factory, initial, spares)
+	default:
+		return nil, fmt.Errorf("harness: unknown system %d", kind)
+	}
+}
+
+// errNotNow signals "this node can't serve right now; try another/again".
+var errNotNow = errors.New("harness: node unavailable")
+
+// --- composed -----------------------------------------------------------------
+
+type composedDep struct {
+	net   *transport.Network
+	nodes map[types.NodeID]*reconfig.Node
+	mu    sync.Mutex
+	order []types.NodeID
+	rr    int
+}
+
+func newComposed(t Tuning, factory statemachine.Factory, initial, spares []types.NodeID) (*composedDep, error) {
+	d := &composedDep{
+		net:   transport.NewNetwork(t.Net),
+		nodes: make(map[types.NodeID]*reconfig.Node),
+		order: types.CloneNodeIDs(initial),
+	}
+	cfg, err := types.NewConfig(1, initial)
+	if err != nil {
+		return nil, err
+	}
+	opts := reconfig.Options{
+		Paxos:              t.paxosOpts(),
+		RetryInterval:      t.Retry,
+		LingerOld:          500 * time.Millisecond,
+		FetchTimeout:       150 * time.Millisecond,
+		StaleJumpTicks:     15,
+		GossipTicks:        20,
+		DisableSpeculation: t.SpecOff,
+	}
+	boot := func(id types.NodeID, member bool) error {
+		n, err := reconfig.NewNode(reconfig.NodeConfig{
+			Self:     id,
+			Endpoint: d.net.Endpoint(id),
+			Store:    storage.NewMem(),
+			Factory:  factory,
+			Opts:     opts,
+		})
+		if err != nil {
+			return err
+		}
+		if member {
+			if err := n.Bootstrap(cfg); err != nil {
+				return err
+			}
+		}
+		if err := n.Start(); err != nil {
+			return err
+		}
+		d.nodes[id] = n
+		return nil
+	}
+	for _, id := range initial {
+		if err := boot(id, true); err != nil {
+			d.Close()
+			return nil, err
+		}
+	}
+	for _, id := range spares {
+		if err := boot(id, false); err != nil {
+			d.Close()
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+func (d *composedDep) pick() *reconfig.Node {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i := 0; i < len(d.order); i++ {
+		d.rr++
+		n := d.nodes[d.order[d.rr%len(d.order)]]
+		if n != nil && n.Serving() {
+			return n
+		}
+	}
+	return nil
+}
+
+func (d *composedDep) Submit(ctx context.Context, clientID types.NodeID, seq uint64, op []byte) ([]byte, error) {
+	n := d.pick()
+	if n == nil {
+		d.refreshOrder()
+		return nil, errNotNow
+	}
+	reply, err := n.Submit(ctx, clientID, seq, op)
+	if errors.Is(err, reconfig.ErrNotServing) {
+		d.refreshOrder()
+	}
+	return reply, err
+}
+
+// refreshOrder re-learns the serving member set from any node.
+func (d *composedDep) refreshOrder() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	best := types.Config{}
+	for _, n := range d.nodes {
+		if cfg := n.CurrentConfig(); cfg.ID > best.ID {
+			best = cfg
+		}
+	}
+	if best.ID != 0 {
+		d.order = types.CloneNodeIDs(best.Members)
+	}
+}
+
+func (d *composedDep) Reconfigure(ctx context.Context, members []types.NodeID) error {
+	for {
+		n := d.pick()
+		if n == nil {
+			return fmt.Errorf("harness: no serving node to reconfigure through")
+		}
+		_, err := n.Reconfigure(ctx, members)
+		if err == nil || errors.Is(err, reconfig.ErrConflict) {
+			d.refreshOrder()
+			return err
+		}
+		if errors.Is(err, reconfig.ErrNotServing) {
+			d.refreshOrder()
+			continue
+		}
+		return err
+	}
+}
+
+func (d *composedDep) Members() []types.NodeID {
+	d.refreshOrder()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return types.CloneNodeIDs(d.order)
+}
+
+func (d *composedDep) NetStats() transport.Stats { return d.net.Stats() }
+func (d *composedDep) ResetNetStats()            { d.net.ResetStats() }
+
+func (d *composedDep) Violations() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var v int64
+	for _, n := range d.nodes {
+		v += n.Stats().InvariantViolations
+	}
+	return v
+}
+
+func (d *composedDep) Close() {
+	d.mu.Lock()
+	nodes := make([]*reconfig.Node, 0, len(d.nodes))
+	for _, n := range d.nodes {
+		nodes = append(nodes, n)
+	}
+	d.mu.Unlock()
+	for _, n := range nodes {
+		n.Stop()
+	}
+	d.net.Close()
+}
+
+// Nodes exposes the composed deployment's node map for experiments that
+// need crash injection (T3).
+func (d *composedDep) Node(id types.NodeID) *reconfig.Node {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.nodes[id]
+}
+
+// --- stop-the-world --------------------------------------------------------------
+
+type stwDep struct {
+	net  *transport.Network
+	svcs map[types.NodeID]*stw.Service
+	mu   sync.Mutex
+	cur  types.Config
+	rr   int
+}
+
+func newSTW(t Tuning, factory statemachine.Factory, initial, spares []types.NodeID) (*stwDep, error) {
+	d := &stwDep{
+		net:  transport.NewNetwork(t.Net),
+		svcs: make(map[types.NodeID]*stw.Service),
+	}
+	cfg, err := types.NewConfig(1, initial)
+	if err != nil {
+		return nil, err
+	}
+	d.cur = cfg
+	for _, id := range append(append([]types.NodeID{}, initial...), spares...) {
+		svc, err := stw.NewService(stw.Config{
+			Self:          id,
+			Endpoint:      d.net.Endpoint(id),
+			Store:         storage.NewMem(),
+			Factory:       factory,
+			Paxos:         t.paxosOpts(),
+			RetryInterval: t.Retry,
+		})
+		if err != nil {
+			d.Close()
+			return nil, err
+		}
+		d.svcs[id] = svc
+	}
+	for _, id := range initial {
+		if err := d.svcs[id].BootInitial(cfg); err != nil {
+			d.Close()
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+func (d *stwDep) pick() *stw.Service {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i := 0; i < d.cur.N(); i++ {
+		d.rr++
+		svc := d.svcs[d.cur.Members[d.rr%d.cur.N()]]
+		if svc != nil && !svc.Halted() {
+			return svc
+		}
+	}
+	return nil
+}
+
+func (d *stwDep) Submit(ctx context.Context, clientID types.NodeID, seq uint64, op []byte) ([]byte, error) {
+	svc := d.pick()
+	if svc == nil {
+		return nil, errNotNow
+	}
+	return svc.Submit(ctx, clientID, seq, op)
+}
+
+func (d *stwDep) Reconfigure(_ context.Context, members []types.NodeID) error {
+	d.mu.Lock()
+	old := d.cur
+	next, err := types.NewConfig(old.ID+1, members)
+	if err != nil {
+		d.mu.Unlock()
+		return err
+	}
+	d.mu.Unlock()
+
+	if _, err := stw.Reconfigure(d.svcs, old, next, uint64(next.ID)); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	d.cur = next
+	d.mu.Unlock()
+	return nil
+}
+
+func (d *stwDep) Members() []types.NodeID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return types.CloneNodeIDs(d.cur.Members)
+}
+
+func (d *stwDep) NetStats() transport.Stats { return d.net.Stats() }
+func (d *stwDep) ResetNetStats()            { d.net.ResetStats() }
+func (d *stwDep) Violations() int64         { return 0 }
+
+func (d *stwDep) Close() {
+	for _, svc := range d.svcs {
+		svc.Stop()
+	}
+	d.net.Close()
+}
+
+// --- inband -------------------------------------------------------------------------
+
+type inbandDep struct {
+	net  *transport.Network
+	svcs map[types.NodeID]*inband.Service
+	mu   sync.Mutex
+	cur  []types.NodeID
+	rr   int
+}
+
+func newInband(t Tuning, factory statemachine.Factory, initial, spares []types.NodeID) (*inbandDep, error) {
+	d := &inbandDep{
+		net:  transport.NewNetwork(t.Net),
+		svcs: make(map[types.NodeID]*inband.Service),
+		cur:  types.CloneNodeIDs(initial),
+	}
+	cfg, err := types.NewConfig(1, initial)
+	if err != nil {
+		return nil, err
+	}
+	for _, id := range append(append([]types.NodeID{}, initial...), spares...) {
+		svc, err := inband.NewService(inband.ServiceConfig{
+			Self:     id,
+			Endpoint: d.net.Endpoint(id),
+			Store:    storage.NewMem(),
+			Factory:  factory,
+			Initial:  cfg,
+			Opts: inband.Options{
+				Alpha:                t.Alpha,
+				TickInterval:         t.Tick,
+				HeartbeatEveryTicks:  2,
+				ElectionTimeoutTicks: 10,
+				ElectionJitterTicks:  10,
+			},
+			RetryInterval: t.Retry,
+		})
+		if err != nil {
+			d.Close()
+			return nil, err
+		}
+		d.svcs[id] = svc
+	}
+	return d, nil
+}
+
+func (d *inbandDep) pick() *inband.Service {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.cur) == 0 {
+		return nil
+	}
+	d.rr++
+	return d.svcs[d.cur[d.rr%len(d.cur)]]
+}
+
+func (d *inbandDep) Submit(ctx context.Context, clientID types.NodeID, seq uint64, op []byte) ([]byte, error) {
+	svc := d.pick()
+	if svc == nil {
+		return nil, errNotNow
+	}
+	return svc.Submit(ctx, clientID, seq, op)
+}
+
+func (d *inbandDep) Reconfigure(ctx context.Context, members []types.NodeID) error {
+	svc := d.pick()
+	if svc == nil {
+		return fmt.Errorf("harness: no inband member to reconfigure through")
+	}
+	if _, err := svc.Reconfigure(ctx, members); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	d.cur = types.SortNodeIDs(types.CloneNodeIDs(members))
+	d.mu.Unlock()
+	return nil
+}
+
+func (d *inbandDep) Members() []types.NodeID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return types.CloneNodeIDs(d.cur)
+}
+
+func (d *inbandDep) NetStats() transport.Stats { return d.net.Stats() }
+func (d *inbandDep) ResetNetStats()            { d.net.ResetStats() }
+
+func (d *inbandDep) Violations() int64 {
+	var v int64
+	for _, svc := range d.svcs {
+		v += svc.Engine().Stats().InvariantViolations
+	}
+	return v
+}
+
+func (d *inbandDep) Close() {
+	for _, svc := range d.svcs {
+		svc.Stop()
+	}
+	d.net.Close()
+}

@@ -1,0 +1,52 @@
+package paxos_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/paxos"
+	"repro/internal/smr"
+	"repro/internal/smr/smrtest"
+	"repro/internal/storage"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+// TestPaxosConformance runs the shared smr.Engine conformance suite against
+// the static Paxos engine.
+func TestPaxosConformance(t *testing.T) {
+	smrtest.Run(t, func(t *testing.T, members []types.NodeID) smrtest.Cluster {
+		net := transport.NewNetwork(transport.Options{
+			BaseLatency: 100 * time.Microsecond,
+			Jitter:      100 * time.Microsecond,
+			Seed:        2,
+		})
+		cfg := types.MustConfig(1, members...)
+		engines := make(map[types.NodeID]smr.Engine, len(members))
+		for _, id := range members {
+			rep, err := paxos.New(cfg, id, net.Endpoint(id), storage.NewMem(), 1, paxos.Options{
+				TickInterval:         time.Millisecond,
+				HeartbeatEveryTicks:  2,
+				ElectionTimeoutTicks: 10,
+				ElectionJitterTicks:  10,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := rep.Start(); err != nil {
+				t.Fatal(err)
+			}
+			engines[id] = rep
+		}
+		return smrtest.Cluster{
+			Engines: engines,
+			Network: net,
+			Cleanup: func() {
+				for _, e := range engines {
+					e.Stop()
+				}
+				net.Close()
+			},
+		}
+	})
+}

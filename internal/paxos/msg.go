@@ -1,0 +1,295 @@
+// Package paxos implements the static, non-reconfigurable Multi-Paxos SMR
+// engine used as the paper's building block. One engine instance serves
+// exactly one configuration for that configuration's whole lifetime: the
+// member set is fixed at construction and there is deliberately no API to
+// change it.
+//
+// The engine is a classic Multi-Paxos:
+//
+//   - a stable leader is elected by running phase 1 (Prepare/Promise) once
+//     for all slots from its first unchosen slot onward;
+//   - each command then takes one phase-2 round (Accept/Accepted) followed
+//     by a Decide broadcast to learners;
+//   - followers detect leader failure via heartbeats and run a randomized
+//     backoff before competing, avoiding dueling-proposer livelock;
+//   - learners deliver decisions in slot order with no gaps and fetch
+//     missing entries from peers (catch-up) when they observe holes.
+//
+// Acceptor state (promise, accepted values) and decided entries are written
+// to stable storage before replies are sent, so a crashed-and-restarted
+// replica cannot renege on its promises.
+package paxos
+
+import (
+	"fmt"
+
+	"repro/internal/types"
+)
+
+// Message kinds on the wire (transport accounting groups by these).
+const (
+	// KindPrepare is phase-1a: a candidate leader solicits promises.
+	KindPrepare uint8 = 1
+	// KindPromise is phase-1b: an acceptor's promise plus its accepted
+	// suffix.
+	KindPromise uint8 = 2
+	// KindAccept is phase-2a: the leader proposes a value for a slot.
+	KindAccept uint8 = 3
+	// KindAccepted is phase-2b: an acceptor's vote.
+	KindAccepted uint8 = 4
+	// KindDecide announces a chosen value to learners.
+	KindDecide uint8 = 5
+	// KindHeartbeat is the leader's liveness beacon.
+	KindHeartbeat uint8 = 6
+	// KindCatchupReq asks a peer for decided entries in a slot range.
+	KindCatchupReq uint8 = 7
+	// KindCatchupResp returns decided entries.
+	KindCatchupResp uint8 = 8
+	// KindForward relays a client proposal to the believed leader.
+	KindForward uint8 = 9
+)
+
+// prepareMsg solicits promises for all slots >= From.
+type prepareMsg struct {
+	Ballot types.Ballot
+	From   types.Slot
+}
+
+// acceptedEntry reports one accepted (slot, ballot, command) triple.
+type acceptedEntry struct {
+	Slot   types.Slot
+	Ballot types.Ballot
+	Cmd    types.Command
+}
+
+// promiseMsg answers a prepare. When OK, Accepted lists this acceptor's
+// accepted entries at slots >= the prepare's From. When not OK, Promised
+// carries the higher ballot that blocked the prepare.
+type promiseMsg struct {
+	Ballot   types.Ballot // the prepare's ballot being answered
+	OK       bool
+	Promised types.Ballot // on reject: the ballot we are bound to
+	Accepted []acceptedEntry
+	Decided  types.Slot // highest contiguously decided slot at this node
+}
+
+// acceptMsg proposes Cmd at Slot under Ballot.
+type acceptMsg struct {
+	Ballot types.Ballot
+	Slot   types.Slot
+	Cmd    types.Command
+}
+
+// acceptedMsg answers an accept.
+type acceptedMsg struct {
+	Ballot   types.Ballot // the accept's ballot being answered
+	Slot     types.Slot
+	OK       bool
+	Promised types.Ballot // on reject: the ballot we are bound to
+}
+
+// decideMsg announces the chosen command for Slot.
+type decideMsg struct {
+	Slot types.Slot
+	Cmd  types.Command
+}
+
+// heartbeatMsg is broadcast by the leader. Decided lets followers detect
+// that they are behind and trigger catch-up.
+type heartbeatMsg struct {
+	Ballot  types.Ballot
+	Decided types.Slot
+}
+
+// catchupReqMsg requests decided entries in [From, To].
+type catchupReqMsg struct {
+	From types.Slot
+	To   types.Slot
+}
+
+// catchupRespMsg carries decided entries.
+type catchupRespMsg struct {
+	Entries []decideMsg
+}
+
+// forwardMsg relays a proposal to the leader.
+type forwardMsg struct {
+	Cmd types.Command
+}
+
+func encodePrepare(m prepareMsg) []byte {
+	w := types.NewWriter(24)
+	w.Ballot(m.Ballot)
+	w.Uvarint(uint64(m.From))
+	return w.Bytes()
+}
+
+func decodePrepare(buf []byte) (prepareMsg, error) {
+	r := types.NewReader(buf)
+	m := prepareMsg{Ballot: r.Ballot(), From: types.Slot(r.Uvarint())}
+	return m, wrapDecode("prepare", r)
+}
+
+func encodePromise(m promiseMsg) []byte {
+	sz := 32
+	for _, e := range m.Accepted {
+		sz += 24 + e.Cmd.EncodedSize()
+	}
+	w := types.NewWriter(sz)
+	w.Ballot(m.Ballot)
+	w.Bool(m.OK)
+	w.Ballot(m.Promised)
+	w.Uvarint(uint64(len(m.Accepted)))
+	for _, e := range m.Accepted {
+		w.Uvarint(uint64(e.Slot))
+		w.Ballot(e.Ballot)
+		e.Cmd.Encode(w)
+	}
+	w.Uvarint(uint64(m.Decided))
+	return w.Bytes()
+}
+
+func decodePromise(buf []byte) (promiseMsg, error) {
+	r := types.NewReader(buf)
+	m := promiseMsg{Ballot: r.Ballot(), OK: r.Bool(), Promised: r.Ballot()}
+	n := r.Uvarint()
+	if r.Err() == nil && n > uint64(r.Remaining()) {
+		return m, fmt.Errorf("%w: promise entry count %d", types.ErrCodec, n)
+	}
+	m.Accepted = make([]acceptedEntry, 0, n)
+	for i := uint64(0); i < n; i++ {
+		m.Accepted = append(m.Accepted, acceptedEntry{
+			Slot:   types.Slot(r.Uvarint()),
+			Ballot: r.Ballot(),
+			Cmd:    types.DecodeCommandFrom(r),
+		})
+	}
+	m.Decided = types.Slot(r.Uvarint())
+	return m, wrapDecode("promise", r)
+}
+
+func encodeAccept(m acceptMsg) []byte {
+	w := types.NewWriter(24 + m.Cmd.EncodedSize())
+	w.Ballot(m.Ballot)
+	w.Uvarint(uint64(m.Slot))
+	m.Cmd.Encode(w)
+	return w.Bytes()
+}
+
+func decodeAccept(buf []byte) (acceptMsg, error) {
+	r := types.NewReader(buf)
+	m := acceptMsg{
+		Ballot: r.Ballot(),
+		Slot:   types.Slot(r.Uvarint()),
+		Cmd:    types.DecodeCommandFrom(r),
+	}
+	return m, wrapDecode("accept", r)
+}
+
+func encodeAccepted(m acceptedMsg) []byte {
+	w := types.NewWriter(32)
+	w.Ballot(m.Ballot)
+	w.Uvarint(uint64(m.Slot))
+	w.Bool(m.OK)
+	w.Ballot(m.Promised)
+	return w.Bytes()
+}
+
+func decodeAccepted(buf []byte) (acceptedMsg, error) {
+	r := types.NewReader(buf)
+	m := acceptedMsg{
+		Ballot:   r.Ballot(),
+		Slot:     types.Slot(r.Uvarint()),
+		OK:       r.Bool(),
+		Promised: r.Ballot(),
+	}
+	return m, wrapDecode("accepted", r)
+}
+
+func encodeDecide(m decideMsg) []byte {
+	w := types.NewWriter(8 + m.Cmd.EncodedSize())
+	w.Uvarint(uint64(m.Slot))
+	m.Cmd.Encode(w)
+	return w.Bytes()
+}
+
+func decodeDecide(buf []byte) (decideMsg, error) {
+	r := types.NewReader(buf)
+	m := decideMsg{Slot: types.Slot(r.Uvarint()), Cmd: types.DecodeCommandFrom(r)}
+	return m, wrapDecode("decide", r)
+}
+
+func encodeHeartbeat(m heartbeatMsg) []byte {
+	w := types.NewWriter(24)
+	w.Ballot(m.Ballot)
+	w.Uvarint(uint64(m.Decided))
+	return w.Bytes()
+}
+
+func decodeHeartbeat(buf []byte) (heartbeatMsg, error) {
+	r := types.NewReader(buf)
+	m := heartbeatMsg{Ballot: r.Ballot(), Decided: types.Slot(r.Uvarint())}
+	return m, wrapDecode("heartbeat", r)
+}
+
+func encodeCatchupReq(m catchupReqMsg) []byte {
+	w := types.NewWriter(16)
+	w.Uvarint(uint64(m.From))
+	w.Uvarint(uint64(m.To))
+	return w.Bytes()
+}
+
+func decodeCatchupReq(buf []byte) (catchupReqMsg, error) {
+	r := types.NewReader(buf)
+	m := catchupReqMsg{From: types.Slot(r.Uvarint()), To: types.Slot(r.Uvarint())}
+	return m, wrapDecode("catchup-req", r)
+}
+
+func encodeCatchupResp(m catchupRespMsg) []byte {
+	sz := 8
+	for _, e := range m.Entries {
+		sz += 8 + e.Cmd.EncodedSize()
+	}
+	w := types.NewWriter(sz)
+	w.Uvarint(uint64(len(m.Entries)))
+	for _, e := range m.Entries {
+		w.Uvarint(uint64(e.Slot))
+		e.Cmd.Encode(w)
+	}
+	return w.Bytes()
+}
+
+func decodeCatchupResp(buf []byte) (catchupRespMsg, error) {
+	r := types.NewReader(buf)
+	n := r.Uvarint()
+	if r.Err() == nil && n > uint64(r.Remaining()) {
+		return catchupRespMsg{}, fmt.Errorf("%w: catchup entry count %d", types.ErrCodec, n)
+	}
+	m := catchupRespMsg{Entries: make([]decideMsg, 0, n)}
+	for i := uint64(0); i < n; i++ {
+		m.Entries = append(m.Entries, decideMsg{
+			Slot: types.Slot(r.Uvarint()),
+			Cmd:  types.DecodeCommandFrom(r),
+		})
+	}
+	return m, wrapDecode("catchup-resp", r)
+}
+
+func encodeForward(m forwardMsg) []byte {
+	w := types.NewWriter(m.Cmd.EncodedSize())
+	m.Cmd.Encode(w)
+	return w.Bytes()
+}
+
+func decodeForward(buf []byte) (forwardMsg, error) {
+	r := types.NewReader(buf)
+	m := forwardMsg{Cmd: types.DecodeCommandFrom(r)}
+	return m, wrapDecode("forward", r)
+}
+
+func wrapDecode(what string, r *types.Reader) error {
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("paxos %s: %w", what, err)
+	}
+	return nil
+}

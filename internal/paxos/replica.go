@@ -1,0 +1,436 @@
+package paxos
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/smr"
+	"repro/internal/storage"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+// Options tunes the engine's timing and pipeline. The zero value is
+// normalized to the defaults below by New.
+type Options struct {
+	// TickInterval is the engine's timer granularity. Default 2ms.
+	TickInterval time.Duration
+	// HeartbeatEveryTicks is how often the leader beacons. Default 2.
+	HeartbeatEveryTicks int
+	// ElectionTimeoutTicks is the ticks without a heartbeat before a
+	// follower competes for leadership. Default 10.
+	ElectionTimeoutTicks int
+	// ElectionJitterTicks adds uniform random ticks to the election
+	// timeout to avoid dueling proposers. Default 10.
+	ElectionJitterTicks int
+	// ResendTicks is how long a candidate/leader waits before
+	// retransmitting an unanswered prepare or accept. Default 5.
+	ResendTicks int
+	// MaxInflight caps the phase-2 pipeline depth. Default 64.
+	MaxInflight int
+	// BatchSize is the maximum number of queued commands a leader packs
+	// into one consensus slot. Default 1 (no batching); the A1 ablation
+	// sweeps it.
+	BatchSize int
+	// PendingLimit caps queued proposals awaiting a leader or a pipeline
+	// slot; beyond it Propose returns ErrBusy. Default 4096.
+	PendingLimit int
+	// CatchupBatch is the max decided entries per catch-up response.
+	// Default 512.
+	CatchupBatch int
+	// Seed seeds the replica's private RNG (election jitter).
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.TickInterval <= 0 {
+		o.TickInterval = 2 * time.Millisecond
+	}
+	if o.HeartbeatEveryTicks <= 0 {
+		o.HeartbeatEveryTicks = 2
+	}
+	if o.ElectionTimeoutTicks <= 0 {
+		o.ElectionTimeoutTicks = 10
+	}
+	if o.ElectionJitterTicks <= 0 {
+		o.ElectionJitterTicks = 10
+	}
+	if o.ResendTicks <= 0 {
+		o.ResendTicks = 5
+	}
+	if o.MaxInflight <= 0 {
+		o.MaxInflight = 64
+	}
+	if o.BatchSize <= 0 {
+		o.BatchSize = 1
+	}
+	if o.PendingLimit <= 0 {
+		o.PendingLimit = 4096
+	}
+	if o.CatchupBatch <= 0 {
+		o.CatchupBatch = 512
+	}
+	return o
+}
+
+// ErrBusy is returned by Propose when the engine's proposal queue is full.
+var ErrBusy = fmt.Errorf("paxos: proposal queue full")
+
+type role uint8
+
+const (
+	roleFollower role = iota + 1
+	roleCandidate
+	roleLeader
+)
+
+type inboundMsg struct {
+	from    types.NodeID
+	kind    uint8
+	payload []byte
+}
+
+type slotProgress struct {
+	cmd        types.Command
+	acks       map[types.NodeID]bool
+	sinceTicks int
+}
+
+// Stats are the engine's monotone counters, for experiments and tests.
+type Stats struct {
+	Decided             int64
+	Proposals           int64
+	Elections           int64
+	StepDowns           int64
+	CatchupRequests     int64
+	InvariantViolations int64
+}
+
+// Replica is one member's engine instance for a single, fixed configuration.
+// It implements smr.Engine.
+type Replica struct {
+	self   types.NodeID
+	cfg    types.Config
+	ep     *transport.Endpoint
+	stream uint64
+	store  storage.Store
+	opts   Options
+	prefix string
+
+	inMsg     chan inboundMsg
+	proposeCh chan types.Command
+	stopCh    chan struct{}
+	stopOnce  sync.Once
+	loopDone  chan struct{}
+	pumpDone  chan struct{}
+	started   atomic.Bool
+
+	// decision pump: the event loop appends under decMu; the pump drains
+	// into decCh so slow consumers never stall the protocol.
+	decCh     chan smr.Decision
+	decMu     sync.Mutex
+	decQueue  []smr.Decision
+	decSignal chan struct{}
+
+	// cross-goroutine views
+	leaderHint atomic.Value // types.NodeID
+	amLeader   atomic.Bool
+
+	stats struct {
+		decided, proposals, elections, stepDowns, catchups, violations atomic.Int64
+	}
+
+	// --- state below is owned exclusively by the event loop goroutine ---
+	rng      *rand.Rand
+	promised types.Ballot
+	accepted map[types.Slot]acceptedEntry
+	decided  map[types.Slot]types.Command
+
+	deliverNext    types.Slot // next slot to hand to the application
+	maxDecidedSeen types.Slot // highest slot known decided anywhere
+
+	role          role
+	ballot        types.Ballot // owned ballot while candidate/leader
+	maxBallotSeen types.Ballot
+	promises      map[types.NodeID]promiseMsg
+	pending       []types.Command
+	inflight      map[types.Slot]*slotProgress
+	nextSlot      types.Slot
+
+	ticksSinceHB     int
+	electionDeadline int
+	hbCountdown      int
+	prepareAge       int
+	catchupCooldown  int
+}
+
+var _ smr.Engine = (*Replica)(nil)
+
+// New constructs a replica of the static engine for cfg on node self.
+// The stream number isolates this instance's traffic on the shared endpoint;
+// storage keys are namespaced by it as well.
+func New(cfg types.Config, self types.NodeID, ep *transport.Endpoint, store storage.Store, stream uint64, opts Options) (*Replica, error) {
+	if !cfg.IsMember(self) {
+		return nil, fmt.Errorf("%w: %s not in %s", smr.ErrNotMember, self, cfg)
+	}
+	r := &Replica{
+		self:      self,
+		cfg:       cfg.Clone(),
+		ep:        ep,
+		stream:    stream,
+		store:     store,
+		opts:      opts.withDefaults(),
+		prefix:    fmt.Sprintf("pxs/%d/", stream),
+		inMsg:     make(chan inboundMsg, 8192),
+		proposeCh: make(chan types.Command, 1024),
+		stopCh:    make(chan struct{}),
+		loopDone:  make(chan struct{}),
+		pumpDone:  make(chan struct{}),
+		decCh:     make(chan smr.Decision, 1024),
+		decSignal: make(chan struct{}, 1),
+		rng:       rand.New(rand.NewSource(opts.Seed ^ int64(stream) ^ hashNode(self))),
+		accepted:  make(map[types.Slot]acceptedEntry),
+		decided:   make(map[types.Slot]types.Command),
+		promises:  make(map[types.NodeID]promiseMsg),
+		inflight:  make(map[types.Slot]*slotProgress),
+		role:      roleFollower,
+
+		deliverNext: 1,
+		nextSlot:    1,
+	}
+	r.leaderHint.Store(types.NodeID(""))
+	if err := r.recover(); err != nil {
+		return nil, fmt.Errorf("paxos recovery: %w", err)
+	}
+	return r, nil
+}
+
+// hashNode folds a node ID into an RNG seed component.
+func hashNode(id types.NodeID) int64 {
+	var h int64 = 1469598103934665603
+	for i := 0; i < len(id); i++ {
+		h ^= int64(id[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// recover reloads acceptor and learner state from stable storage, so a
+// restarted process keeps its promises and redelivers its decided prefix.
+func (r *Replica) recover() error {
+	if raw, ok, err := r.store.Get(r.prefix + "promised"); err != nil {
+		return err
+	} else if ok {
+		rd := types.NewReader(raw)
+		r.promised = rd.Ballot()
+		if err := rd.Err(); err != nil {
+			return fmt.Errorf("promised record: %w", err)
+		}
+		r.maxBallotSeen = r.promised
+	}
+	accs, err := r.store.Scan(r.prefix + "acc/")
+	if err != nil {
+		return err
+	}
+	for _, kv := range accs {
+		rd := types.NewReader(kv.Value)
+		e := acceptedEntry{
+			Slot:   types.Slot(rd.Uvarint()),
+			Ballot: rd.Ballot(),
+			Cmd:    types.DecodeCommandFrom(rd),
+		}
+		if err := rd.Err(); err != nil {
+			return fmt.Errorf("accepted record %s: %w", kv.Key, err)
+		}
+		r.accepted[e.Slot] = e
+	}
+	decs, err := r.store.Scan(r.prefix + "dec/")
+	if err != nil {
+		return err
+	}
+	for _, kv := range decs {
+		rd := types.NewReader(kv.Value)
+		d := decideMsg{Slot: types.Slot(rd.Uvarint()), Cmd: types.DecodeCommandFrom(rd)}
+		if err := rd.Err(); err != nil {
+			return fmt.Errorf("decided record %s: %w", kv.Key, err)
+		}
+		r.decided[d.Slot] = d.Cmd
+		if d.Slot > r.maxDecidedSeen {
+			r.maxDecidedSeen = d.Slot
+		}
+	}
+	if s := types.Slot(len(r.decided)); s > 0 {
+		// nextSlot must clear everything we might know about.
+		for slot := range r.decided {
+			if slot >= r.nextSlot {
+				r.nextSlot = slot + 1
+			}
+		}
+	}
+	for slot := range r.accepted {
+		if slot >= r.nextSlot {
+			r.nextSlot = slot + 1
+		}
+	}
+	return nil
+}
+
+// Start implements smr.Engine.
+func (r *Replica) Start() error {
+	if r.started.Swap(true) {
+		return fmt.Errorf("paxos: Start called twice")
+	}
+	r.ep.Handle(r.stream, func(from types.NodeID, _ uint64, kind uint8, payload []byte) {
+		select {
+		case r.inMsg <- inboundMsg{from: from, kind: kind, payload: payload}:
+		case <-r.stopCh:
+		default:
+			// Inbox overflow: drop, like the network would.
+		}
+	})
+	go r.pump()
+	go r.loop()
+	return nil
+}
+
+// Stop implements smr.Engine. It is idempotent; after it returns no further
+// decisions are delivered and the decision channel is closed.
+func (r *Replica) Stop() {
+	r.stopOnce.Do(func() {
+		close(r.stopCh)
+		r.ep.Handle(r.stream, nil)
+	})
+	if r.started.Load() {
+		<-r.loopDone
+		<-r.pumpDone
+	}
+}
+
+// Propose implements smr.Engine.
+func (r *Replica) Propose(cmd types.Command) error {
+	select {
+	case <-r.stopCh:
+		return smr.ErrStopped
+	default:
+	}
+	select {
+	case r.proposeCh <- cmd:
+		return nil
+	case <-r.stopCh:
+		return smr.ErrStopped
+	default:
+		return ErrBusy
+	}
+}
+
+// Decisions implements smr.Engine.
+func (r *Replica) Decisions() <-chan smr.Decision { return r.decCh }
+
+// Leader implements smr.Engine.
+func (r *Replica) Leader() (types.NodeID, bool) {
+	hint, _ := r.leaderHint.Load().(types.NodeID)
+	return hint, r.amLeader.Load()
+}
+
+// Config returns the fixed configuration this engine serves.
+func (r *Replica) Config() types.Config { return r.cfg.Clone() }
+
+// Stats returns a snapshot of the engine's counters.
+func (r *Replica) Stats() Stats {
+	return Stats{
+		Decided:             r.stats.decided.Load(),
+		Proposals:           r.stats.proposals.Load(),
+		Elections:           r.stats.elections.Load(),
+		StepDowns:           r.stats.stepDowns.Load(),
+		CatchupRequests:     r.stats.catchups.Load(),
+		InvariantViolations: r.stats.violations.Load(),
+	}
+}
+
+// pump moves queued decisions into the public channel so that a slow
+// consumer never blocks the protocol loop.
+func (r *Replica) pump() {
+	defer close(r.pumpDone)
+	defer close(r.decCh)
+	for {
+		r.decMu.Lock()
+		batch := r.decQueue
+		r.decQueue = nil
+		r.decMu.Unlock()
+		for _, d := range batch {
+			select {
+			case r.decCh <- d:
+			case <-r.stopCh:
+				return
+			}
+		}
+		select {
+		case <-r.decSignal:
+		case <-r.stopCh:
+			// Drain anything enqueued concurrently with stop; consumers
+			// may still be reading until the channel closes.
+			r.decMu.Lock()
+			rest := r.decQueue
+			r.decQueue = nil
+			r.decMu.Unlock()
+			for _, d := range rest {
+				select {
+				case r.decCh <- d:
+				default:
+					return
+				}
+			}
+			return
+		}
+	}
+}
+
+func (r *Replica) enqueueDecision(d smr.Decision) {
+	r.decMu.Lock()
+	r.decQueue = append(r.decQueue, d)
+	r.decMu.Unlock()
+	select {
+	case r.decSignal <- struct{}{}:
+	default:
+	}
+}
+
+// loop is the single-threaded protocol engine; all Paxos state is owned here.
+func (r *Replica) loop() {
+	defer close(r.loopDone)
+	ticker := time.NewTicker(r.opts.TickInterval)
+	defer ticker.Stop()
+
+	// The lexically smallest member starts an election on its first tick
+	// so fresh configurations get a leader without waiting out a timeout;
+	// everyone else uses the randomized timeout.
+	if r.cfg.Members[0] == r.self {
+		r.electionDeadline = 1
+	} else {
+		r.resetElectionDeadline()
+	}
+
+	// Redeliver the recovered decided prefix to the application.
+	r.deliverReady()
+
+	for {
+		select {
+		case <-r.stopCh:
+			return
+		case m := <-r.inMsg:
+			r.handleMessage(m)
+		case cmd := <-r.proposeCh:
+			r.handlePropose(cmd)
+		case <-ticker.C:
+			r.tick()
+		}
+	}
+}
+
+func (r *Replica) resetElectionDeadline() {
+	r.electionDeadline = r.opts.ElectionTimeoutTicks + r.rng.Intn(r.opts.ElectionJitterTicks+1)
+	r.ticksSinceHB = 0
+}

@@ -1,0 +1,278 @@
+package reconfig
+
+import (
+	"repro/internal/statemachine"
+	"repro/internal/types"
+)
+
+// applyLoop is the node's single execution thread: it serializes decisions
+// from all engines into the global command sequence.
+func (n *Node) applyLoop() {
+	defer n.wg.Done()
+	for {
+		select {
+		case <-n.stopCh:
+			return
+		case td := <-n.applyCh:
+			n.mu.Lock()
+			n.routeDecisionLocked(td)
+			n.pumpLocked()
+			n.mu.Unlock()
+		}
+	}
+}
+
+// routeDecisionLocked buffers or discards one decision according to which
+// configuration it belongs to.
+func (n *Node) routeDecisionLocked(td taggedDecision) {
+	if td.id < n.curID {
+		// The old engine decided something after its wedge slot. Per the
+		// composition rule it is NOT applied there; if we have a client
+		// waiting on it, the housekeeping loop re-proposes it in the
+		// current configuration (dedup makes that idempotent).
+		return
+	}
+	run, ok := n.engines[td.id]
+	if !ok {
+		return
+	}
+	run.buffered = append(run.buffered, td.dec)
+}
+
+// pumpLocked applies every ready decision of the current configuration,
+// following wedges across engines until no more progress is possible.
+func (n *Node) pumpLocked() {
+	for {
+		if !n.initialized {
+			return
+		}
+		run, ok := n.engines[n.curID]
+		if !ok || len(run.buffered) == 0 {
+			return
+		}
+		dec := run.buffered[0]
+		run.buffered = run.buffered[1:]
+		if dec.Slot != n.appliedSlot+1 {
+			if dec.Slot <= n.appliedSlot {
+				continue // stale redelivery; already executed
+			}
+			// The engine contract is gap-free in-order delivery, so
+			// this is unreachable; count it rather than crash.
+			n.stats.violations++
+			continue
+		}
+		n.applyOneLocked(dec.Slot, dec.Cmd)
+	}
+}
+
+// applyOneLocked executes one decided slot of the current configuration.
+// It may perform a wedge transition.
+func (n *Node) applyOneLocked(slot types.Slot, cmd types.Command) {
+	n.appliedSlot = slot
+	n.applyCommandLocked(slot, cmd)
+}
+
+// applyCommandLocked executes one command (possibly a batch member) at slot.
+func (n *Node) applyCommandLocked(slot types.Slot, cmd types.Command) {
+	if cmd.Kind == types.CmdReconfig {
+		n.applyReconfigLocked(slot, cmd)
+		return
+	}
+	if cmd.Kind == types.CmdBatch {
+		subs, err := types.DecodeBatch(cmd.Data)
+		if err != nil {
+			n.stats.violations++ // a leader produced a corrupt batch
+			return
+		}
+		for _, sub := range subs {
+			before := n.curID
+			n.applyCommandLocked(slot, sub)
+			if n.curID != before {
+				// A reconfiguration inside the batch wedged this
+				// configuration; the remaining batch members are
+				// post-wedge and follow the re-submission rule.
+				return
+			}
+		}
+		return
+	}
+	reply, dup := n.machine.ApplyCommand(cmd)
+	n.stats.applied++
+	if dup {
+		n.stats.duplicates++
+	}
+	if cmd.Client == "" {
+		return
+	}
+	key := pendKey{client: cmd.Client, seq: cmd.Seq}
+	if p, ok := n.pending[key]; ok {
+		delete(n.pending, key)
+		n.respondApplied(p, reply)
+	}
+}
+
+// respondApplied answers every RPC waiter attached to a pending command.
+func (n *Node) respondApplied(p *pendingCmd, reply []byte) {
+	if len(p.responders) == 0 {
+		return
+	}
+	resp := encodeSubmitReply(submitReply{
+		Status: SubmitApplied,
+		Reply:  reply,
+		Config: n.configs[n.curID],
+		Leader: n.leaderHintLocked(),
+	})
+	for _, respond := range p.responders {
+		respond(resp)
+	}
+}
+
+func (n *Node) leaderHintLocked() types.NodeID {
+	if run, ok := n.engines[n.curID]; ok {
+		hint, _ := run.eng.Leader()
+		return hint
+	}
+	return ""
+}
+
+// applyReconfigLocked performs the wedge transition: configuration curID is
+// wedged at slot, its state becomes the successor's initial state, and the
+// successor engine takes over.
+func (n *Node) applyReconfigLocked(slot types.Slot, cmd types.Command) {
+	newCfg, err := types.DecodeConfig(cmd.Data)
+	if err != nil || newCfg.ID != n.curID+1 {
+		// Deterministically invalid (stale ID from a racing proposer or
+		// corrupt): every replica treats it as a no-op.
+		return
+	}
+	rec := ChainRecord{
+		From:        n.curID,
+		FromMembers: n.configs[n.curID].Members,
+		WedgeSlot:   slot,
+		To:          newCfg,
+	}
+	if prev, ok := n.chain[rec.From]; ok {
+		if !prev.Equal(rec) {
+			// Two different successors for one configuration would be
+			// a chain fork — agreement inside the engine forbids it.
+			n.stats.violations++
+			return
+		}
+	} else {
+		n.chain[rec.From] = rec
+		if err := n.store.Set(chainKey(rec.From), encodeChainRecord(rec)); err != nil {
+			n.stats.violations++
+		}
+	}
+	n.configs[newCfg.ID] = newCfg
+	n.stats.wedges++
+
+	// The machine state at the wedge IS the successor's initial state.
+	snap := n.machine.Snapshot()
+	if err := n.store.Set(snapKey(newCfg.ID), snap); err != nil {
+		n.stats.violations++
+	}
+
+	// Let the old engine linger for laggards, then stop it.
+	if run, ok := n.engines[rec.From]; ok {
+		n.scheduleEngineStop(run)
+	}
+
+	n.curID = newCfg.ID
+	n.appliedSlot = 0
+
+	// Tell the successor's members (the new ones cannot discover the
+	// configuration through their own logs).
+	n.announceLocked(rec)
+
+	if newCfg.IsMember(n.self) {
+		// We hold the state already: activate immediately; the engine
+		// starts speculatively regardless of the snapshot (it is local).
+		if err := n.ensureEngineLocked(newCfg.ID); err != nil {
+			n.stats.violations++
+		}
+		// initialized stays true: machine == initial state of newCfg.
+		n.resubmitPendingLocked()
+	} else {
+		// We are retired. Redirect every waiting client to the new
+		// configuration and stop executing.
+		n.initialized = false
+		n.redirectAllPendingLocked()
+	}
+	n.notifyTransitionLocked()
+}
+
+// announceLocked broadcasts the chain record to the successor's members.
+// Best-effort: the housekeeping loop and discovery RPCs cover losses.
+func (n *Node) announceLocked(rec ChainRecord) {
+	body := encodeAnnounce(announceMsg{Record: rec})
+	for _, m := range rec.To.Members {
+		if m == n.self {
+			continue
+		}
+		n.sendAnnounce(m, body)
+	}
+}
+
+// resubmitPendingLocked re-proposes every pending command into the current
+// configuration's engine. Session dedup makes duplicates harmless.
+func (n *Node) resubmitPendingLocked() {
+	run, ok := n.engines[n.curID]
+	if !ok {
+		return
+	}
+	for key, p := range n.pending {
+		p.tries++
+		if p.tries > n.opts.PendingMaxRetries {
+			delete(n.pending, key)
+			continue
+		}
+		n.stats.resubmits++
+		_ = run.eng.Propose(p.cmd) // best effort; next tick retries
+	}
+}
+
+// redirectAllPendingLocked answers every waiting client with a redirect to
+// the current configuration.
+func (n *Node) redirectAllPendingLocked() {
+	resp := encodeSubmitReply(submitReply{
+		Status: SubmitRedirect,
+		Config: n.configs[n.curID],
+		Leader: "",
+	})
+	for key, p := range n.pending {
+		for _, respond := range p.responders {
+			respond(resp)
+		}
+		delete(n.pending, key)
+	}
+}
+
+// installSnapshot adopts a fetched snapshot as the initial state of config
+// id. It is a no-op if the node has moved past id or is already initialized.
+func (n *Node) installSnapshot(id types.ConfigID, snap []byte) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.fetching = false
+	if n.curID != id || n.initialized {
+		return
+	}
+	fresh := statemachine.NewSessioned(n.factory())
+	if err := fresh.Restore(snap); err != nil {
+		n.stats.violations++
+		return
+	}
+	if err := n.store.Set(snapKey(id), snap); err != nil {
+		n.stats.violations++
+	}
+	n.machine = fresh
+	n.initialized = true
+	n.appliedSlot = 0
+	n.stats.snapshotsFetched++
+	if err := n.ensureEngineLocked(id); err != nil {
+		n.stats.violations++
+	}
+	n.resubmitPendingLocked()
+	n.notifyTransitionLocked()
+	n.pumpLocked()
+}

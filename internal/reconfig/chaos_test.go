@@ -1,0 +1,247 @@
+package reconfig
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/statemachine"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+// TestChaosReconfiguration drives the composed system through randomized
+// reconfigurations, node crashes/restarts and transient isolations while
+// bank-transfer clients run continuously, then verifies the paper's safety
+// properties end to end:
+//
+//	P2 — the configuration chain is a single path, identical on all nodes;
+//	P4 — the bank total is conserved (no command lost or double-applied);
+//	and zero protocol invariant violations anywhere.
+func TestChaosReconfiguration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos test in -short mode")
+	}
+	w := newWorld(t, transport.Options{
+		BaseLatency: 100 * time.Microsecond,
+		Jitter:      200 * time.Microsecond,
+		LossRate:    0.02,
+		Seed:        77,
+	})
+	pool := []types.NodeID{"n1", "n2", "n3", "n4", "n5", "n6", "n7"}
+	w.bootstrap(statemachine.NewBankMachine, pool[0], pool[1], pool[2])
+	w.waitServing(pool[0], pool[1], pool[2])
+	for _, id := range pool[3:] {
+		n := w.startNode(id, statemachine.NewBankMachine)
+		if err := n.Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const initialTotal = 3000
+	w.submit("n1", "admin", 1, statemachine.EncodeOpen("a", 1000))
+	w.submit("n1", "admin", 2, statemachine.EncodeOpen("b", 1000))
+	w.submit("n1", "admin", 3, statemachine.EncodeOpen("c", 1000))
+
+	// Continuous transfer traffic: each client retries its current seq
+	// (possibly via different nodes) until acknowledged, like a real SDK.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	accounts := []string{"a", "b", "c"}
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g) + 100))
+			client := types.NodeID(fmt.Sprintf("chaos-t%d", g))
+			seq := uint64(1)
+			op := statemachine.EncodeTransfer(accounts[g%3], accounts[(g+1)%3], 1)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				via := pool[rng.Intn(len(pool))]
+				w.mu.Lock()
+				node := w.nodes[via]
+				w.mu.Unlock()
+				if node == nil {
+					continue // crashed right now
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), 400*time.Millisecond)
+				_, err := node.Submit(ctx, client, seq, op)
+				cancel()
+				if err == nil {
+					seq++
+					op = statemachine.EncodeTransfer(accounts[rng.Intn(3)], accounts[rng.Intn(3)], 1)
+				}
+			}
+		}(g)
+	}
+
+	// reconfigureViaAny proposes through whichever node currently serves.
+	reconfigureViaAny := func(members []types.NodeID) bool {
+		for _, id := range pool {
+			w.mu.Lock()
+			node := w.nodes[id]
+			w.mu.Unlock()
+			if node == nil || !node.Serving() {
+				continue
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 8*time.Second)
+			_, err := node.Reconfigure(ctx, members)
+			cancel()
+			if err == nil {
+				return true
+			}
+		}
+		return false
+	}
+
+	rng := rand.New(rand.NewSource(4242))
+	alive := make(map[types.NodeID]bool, len(pool))
+	for _, id := range pool {
+		alive[id] = true
+	}
+	reconfigs := 0
+	for round := 0; round < 10; round++ {
+		switch rng.Intn(3) {
+		case 0: // reconfigure to a random subset of alive nodes
+			var candidates []types.NodeID
+			for _, id := range pool {
+				if alive[id] {
+					candidates = append(candidates, id)
+				}
+			}
+			rng.Shuffle(len(candidates), func(i, j int) {
+				candidates[i], candidates[j] = candidates[j], candidates[i]
+			})
+			size := 3 + 2*rng.Intn(2) // 3 or 5
+			if size > len(candidates) {
+				size = len(candidates)
+			}
+			if reconfigureViaAny(candidates[:size]) {
+				reconfigs++
+			}
+		case 1: // crash one node briefly, then restart it
+			id := pool[rng.Intn(len(pool))]
+			w.mu.Lock()
+			node := w.nodes[id]
+			w.mu.Unlock()
+			if node == nil {
+				break
+			}
+			node.Stop()
+			w.mu.Lock()
+			delete(w.nodes, id)
+			w.mu.Unlock()
+			alive[id] = false
+			time.Sleep(50 * time.Millisecond)
+			n := w.startNode(id, statemachine.NewBankMachine)
+			if err := n.Start(); err != nil {
+				t.Fatal(err)
+			}
+			alive[id] = true
+		default: // transient isolation
+			id := pool[rng.Intn(len(pool))]
+			w.net.Isolate(id)
+			time.Sleep(50 * time.Millisecond)
+			w.net.Restore(id)
+		}
+		time.Sleep(60 * time.Millisecond)
+	}
+	if reconfigs == 0 {
+		t.Log("warning: chaos run performed no successful reconfigurations")
+	}
+
+	// Quiesce: heal everything and let the system converge.
+	w.net.HealAll()
+	close(stop)
+	wg.Wait()
+
+	// Find the newest configuration and verify its members serve.
+	var latest types.Config
+	w.mu.Lock()
+	for _, n := range w.nodes {
+		if cfg := n.CurrentConfig(); cfg.ID > latest.ID {
+			latest = cfg
+		}
+	}
+	w.mu.Unlock()
+	if latest.ID == 0 {
+		t.Fatal("no configuration known anywhere")
+	}
+
+	// P4: conservation. Audit through any serving member of the newest
+	// configuration.
+	var total uint64
+	audited := false
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) && !audited {
+		for _, id := range latest.Members {
+			w.mu.Lock()
+			node := w.nodes[id]
+			w.mu.Unlock()
+			if node == nil {
+				continue
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+			reply, err := node.Submit(ctx, "auditor", 1, statemachine.EncodeTotal())
+			cancel()
+			if err == nil {
+				v, derr := statemachine.DecodeUvarintReply(statemachine.ReplyPayload(reply))
+				if derr == nil {
+					total = v
+					audited = true
+					break
+				}
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if !audited {
+		t.Fatalf("could not audit the final configuration %s", latest)
+	}
+	if total != initialTotal {
+		t.Fatalf("conservation violated after chaos: total %d != %d", total, initialTotal)
+	}
+
+	// P2: chains are consistent across all nodes (no forks).
+	type chainView struct {
+		id    types.NodeID
+		chain []ChainRecord
+	}
+	var views []chainView
+	w.mu.Lock()
+	for id, n := range w.nodes {
+		views = append(views, chainView{id: id, chain: n.ChainRecords()})
+	}
+	w.mu.Unlock()
+	byFrom := make(map[types.ConfigID]ChainRecord)
+	for _, v := range views {
+		for _, rec := range v.chain {
+			if prev, ok := byFrom[rec.From]; ok {
+				if !prev.Equal(rec) {
+					t.Fatalf("chain fork at cfg%d: %s sees %+v, another node saw %+v",
+						rec.From, v.id, rec, prev)
+				}
+			} else {
+				byFrom[rec.From] = rec
+			}
+		}
+	}
+	// The chain must be a contiguous path 1..latest-1.
+	for id := types.ConfigID(1); id < latest.ID; id++ {
+		if _, ok := byFrom[id]; !ok {
+			t.Fatalf("chain hole: no record for cfg%d (latest %d)", id, latest.ID)
+		}
+	}
+
+	w.checkNoViolations()
+	t.Logf("chaos survived: %d reconfigurations, final %s, total conserved at %d",
+		reconfigs, latest, total)
+}

@@ -1,0 +1,356 @@
+// Package reconfig implements the paper's contribution: a fully
+// reconfigurable state machine replication service composed from a chain of
+// static, non-reconfigurable SMR engines (internal/paxos), used strictly as
+// black boxes.
+//
+// Each configuration C_i runs its own engine. A reconfiguration is an
+// ordinary command in C_i's log; deciding it wedges C_i at that slot,
+// determines the unique successor C_{i+1}, and transfers the application
+// state (machine + client sessions) at the wedge point into C_{i+1}'s fresh
+// engine. Commands decided after the wedge slot in the old engine are not
+// applied there — pending proposers re-submit them to the successor, and
+// session deduplication makes that re-submission idempotent.
+//
+// The successor engine starts speculatively: members begin participating in
+// leader election and ordering while the snapshot is still being fetched;
+// execution (and client replies) waits for the state to be installed.
+package reconfig
+
+import (
+	"fmt"
+
+	"repro/internal/types"
+)
+
+// Control stream: all reconfig control-plane RPCs share transport stream 0;
+// engine instances use stream = their configuration ID (always >= 1).
+const ControlStream uint64 = 0
+
+// Control op codes (first byte of every RPC body). Values start at 1.
+const (
+	opSubmit      uint8 = 1
+	opSubmitReply uint8 = 2
+	opLocate      uint8 = 3
+	opLocateReply uint8 = 4
+	opXfer        uint8 = 5
+	opXferReply   uint8 = 6
+	opAnnounce    uint8 = 7
+	opAnnounceAck uint8 = 8
+	opReconfig    uint8 = 9
+	opReconfReply uint8 = 10
+	opChain       uint8 = 11
+	opChainReply  uint8 = 12
+)
+
+// SubmitStatus describes the outcome of a submit RPC.
+type SubmitStatus uint8
+
+const (
+	// SubmitApplied means the command executed; Reply carries the result.
+	SubmitApplied SubmitStatus = 1
+	// SubmitRedirect means this node is not serving the current
+	// configuration; Config/Leader hint where to go.
+	SubmitRedirect SubmitStatus = 2
+	// SubmitBusy means the node is serving but couldn't accept the
+	// command right now; retry.
+	SubmitBusy SubmitStatus = 3
+)
+
+// String implements fmt.Stringer.
+func (s SubmitStatus) String() string {
+	switch s {
+	case SubmitApplied:
+		return "applied"
+	case SubmitRedirect:
+		return "redirect"
+	case SubmitBusy:
+		return "busy"
+	default:
+		return fmt.Sprintf("submit-status(%d)", uint8(s))
+	}
+}
+
+// ChainRecord links configuration From to its unique successor: the engine
+// of From decided the reconfiguration at WedgeSlot, and To is the successor
+// configuration. The set of chain records forms the configuration chain.
+type ChainRecord struct {
+	From        types.ConfigID
+	FromMembers []types.NodeID // members of From: where the snapshot lives
+	WedgeSlot   types.Slot
+	To          types.Config
+}
+
+// Equal reports deep equality of chain records.
+func (c ChainRecord) Equal(o ChainRecord) bool {
+	if c.From != o.From || c.WedgeSlot != o.WedgeSlot || !c.To.Equal(o.To) {
+		return false
+	}
+	if len(c.FromMembers) != len(o.FromMembers) {
+		return false
+	}
+	for i := range c.FromMembers {
+		if c.FromMembers[i] != o.FromMembers[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (c ChainRecord) encode(w *types.Writer) {
+	w.Uvarint(uint64(c.From))
+	w.NodeIDs(c.FromMembers)
+	w.Uvarint(uint64(c.WedgeSlot))
+	c.To.Encode(w)
+}
+
+func decodeChainRecordFrom(r *types.Reader) ChainRecord {
+	return ChainRecord{
+		From:        types.ConfigID(r.Uvarint()),
+		FromMembers: r.NodeIDs(),
+		WedgeSlot:   types.Slot(r.Uvarint()),
+		To:          types.DecodeConfigFrom(r),
+	}
+}
+
+func encodeChainRecord(c ChainRecord) []byte {
+	w := types.NewWriter(32 + 12*len(c.To.Members))
+	c.encode(w)
+	return w.Bytes()
+}
+
+func decodeChainRecord(buf []byte) (ChainRecord, error) {
+	r := types.NewReader(buf)
+	c := decodeChainRecordFrom(r)
+	if err := r.Err(); err != nil {
+		return ChainRecord{}, fmt.Errorf("chain record: %w", err)
+	}
+	if _, err := types.NewConfig(c.To.ID, c.To.Members); err != nil {
+		return ChainRecord{}, fmt.Errorf("chain record: %w", err)
+	}
+	return c, nil
+}
+
+// --- submit -----------------------------------------------------------------
+
+type submitReq struct {
+	Cmd types.Command
+}
+
+func encodeSubmit(m submitReq) []byte {
+	w := types.NewWriter(4 + m.Cmd.EncodedSize())
+	w.Byte(opSubmit)
+	m.Cmd.Encode(w)
+	return w.Bytes()
+}
+
+type submitReply struct {
+	Status SubmitStatus
+	Reply  []byte
+	Config types.Config // current config hint (always set)
+	Leader types.NodeID // leader hint, may be empty
+}
+
+func encodeSubmitReply(m submitReply) []byte {
+	w := types.NewWriter(32 + len(m.Reply) + 12*len(m.Config.Members))
+	w.Byte(opSubmitReply)
+	w.Byte(byte(m.Status))
+	w.BytesField(m.Reply)
+	m.Config.Encode(w)
+	w.NodeID(m.Leader)
+	return w.Bytes()
+}
+
+func decodeSubmitReply(buf []byte) (submitReply, error) {
+	if len(buf) == 0 || buf[0] != opSubmitReply {
+		return submitReply{}, fmt.Errorf("%w: not a submit reply", types.ErrCodec)
+	}
+	r := types.NewReader(buf[1:])
+	m := submitReply{
+		Status: SubmitStatus(r.Byte()),
+		Reply:  r.BytesField(),
+		Config: types.DecodeConfigFrom(r),
+		Leader: r.NodeID(),
+	}
+	if err := r.Err(); err != nil {
+		return submitReply{}, fmt.Errorf("submit reply: %w", err)
+	}
+	return m, nil
+}
+
+// --- locate -----------------------------------------------------------------
+
+func encodeLocate() []byte { return []byte{opLocate} }
+
+type locateReply struct {
+	Config types.Config
+	Wedged bool // the returned config already has a decided successor
+	Leader types.NodeID
+}
+
+func encodeLocateReply(m locateReply) []byte {
+	w := types.NewWriter(24 + 12*len(m.Config.Members))
+	w.Byte(opLocateReply)
+	m.Config.Encode(w)
+	w.Bool(m.Wedged)
+	w.NodeID(m.Leader)
+	return w.Bytes()
+}
+
+func decodeLocateReply(buf []byte) (locateReply, error) {
+	if len(buf) == 0 || buf[0] != opLocateReply {
+		return locateReply{}, fmt.Errorf("%w: not a locate reply", types.ErrCodec)
+	}
+	r := types.NewReader(buf[1:])
+	m := locateReply{
+		Config: types.DecodeConfigFrom(r),
+		Wedged: r.Bool(),
+		Leader: r.NodeID(),
+	}
+	if err := r.Err(); err != nil {
+		return locateReply{}, fmt.Errorf("locate reply: %w", err)
+	}
+	return m, nil
+}
+
+// --- state transfer ----------------------------------------------------------
+
+type xferReq struct {
+	Config types.ConfigID // requesting the initial snapshot OF this config
+}
+
+func encodeXfer(m xferReq) []byte {
+	w := types.NewWriter(12)
+	w.Byte(opXfer)
+	w.Uvarint(uint64(m.Config))
+	return w.Bytes()
+}
+
+type xferReply struct {
+	Found    bool
+	Snapshot []byte
+	Config   types.Config // the config whose initial state this is
+}
+
+func encodeXferReply(m xferReply) []byte {
+	w := types.NewWriter(24 + len(m.Snapshot) + 12*len(m.Config.Members))
+	w.Byte(opXferReply)
+	w.Bool(m.Found)
+	w.BytesField(m.Snapshot)
+	m.Config.Encode(w)
+	return w.Bytes()
+}
+
+func decodeXferReply(buf []byte) (xferReply, error) {
+	if len(buf) == 0 || buf[0] != opXferReply {
+		return xferReply{}, fmt.Errorf("%w: not a xfer reply", types.ErrCodec)
+	}
+	r := types.NewReader(buf[1:])
+	m := xferReply{
+		Found:    r.Bool(),
+		Snapshot: r.BytesField(),
+		Config:   types.DecodeConfigFrom(r),
+	}
+	if err := r.Err(); err != nil {
+		return xferReply{}, fmt.Errorf("xfer reply: %w", err)
+	}
+	return m, nil
+}
+
+// --- announce -----------------------------------------------------------------
+
+type announceMsg struct {
+	Record ChainRecord
+}
+
+func encodeAnnounce(m announceMsg) []byte {
+	w := types.NewWriter(40 + 12*len(m.Record.To.Members))
+	w.Byte(opAnnounce)
+	m.Record.encode(w)
+	return w.Bytes()
+}
+
+func encodeAnnounceAck() []byte { return []byte{opAnnounceAck} }
+
+// --- admin reconfigure ----------------------------------------------------------
+
+type reconfigReq struct {
+	Members []types.NodeID
+}
+
+func encodeReconfigReq(m reconfigReq) []byte {
+	w := types.NewWriter(8 + 12*len(m.Members))
+	w.Byte(opReconfig)
+	w.NodeIDs(m.Members)
+	return w.Bytes()
+}
+
+type reconfigReply struct {
+	OK     bool
+	Detail string
+	Config types.Config // resulting (or current) configuration
+}
+
+func encodeReconfigReply(m reconfigReply) []byte {
+	w := types.NewWriter(24 + len(m.Detail) + 12*len(m.Config.Members))
+	w.Byte(opReconfReply)
+	w.Bool(m.OK)
+	w.String(m.Detail)
+	m.Config.Encode(w)
+	return w.Bytes()
+}
+
+func decodeReconfigReply(buf []byte) (reconfigReply, error) {
+	if len(buf) == 0 || buf[0] != opReconfReply {
+		return reconfigReply{}, fmt.Errorf("%w: not a reconfig reply", types.ErrCodec)
+	}
+	r := types.NewReader(buf[1:])
+	m := reconfigReply{
+		OK:     r.Bool(),
+		Detail: r.String(),
+		Config: types.DecodeConfigFrom(r),
+	}
+	if err := r.Err(); err != nil {
+		return reconfigReply{}, fmt.Errorf("reconfig reply: %w", err)
+	}
+	return m, nil
+}
+
+// --- chain dump -------------------------------------------------------------------
+
+func encodeChainQuery() []byte { return []byte{opChain} }
+
+type chainReply struct {
+	Initial types.Config
+	Records []ChainRecord
+}
+
+func encodeChainReply(m chainReply) []byte {
+	w := types.NewWriter(64)
+	w.Byte(opChainReply)
+	m.Initial.Encode(w)
+	w.Uvarint(uint64(len(m.Records)))
+	for _, rec := range m.Records {
+		rec.encode(w)
+	}
+	return w.Bytes()
+}
+
+func decodeChainReply(buf []byte) (chainReply, error) {
+	if len(buf) == 0 || buf[0] != opChainReply {
+		return chainReply{}, fmt.Errorf("%w: not a chain reply", types.ErrCodec)
+	}
+	r := types.NewReader(buf[1:])
+	m := chainReply{Initial: types.DecodeConfigFrom(r)}
+	n := r.Uvarint()
+	if r.Err() == nil && n > uint64(r.Remaining()) {
+		return chainReply{}, fmt.Errorf("%w: chain record count", types.ErrCodec)
+	}
+	m.Records = make([]ChainRecord, 0, n)
+	for i := uint64(0); i < n; i++ {
+		m.Records = append(m.Records, decodeChainRecordFrom(r))
+	}
+	if err := r.Err(); err != nil {
+		return chainReply{}, fmt.Errorf("chain reply: %w", err)
+	}
+	return m, nil
+}

@@ -1,0 +1,478 @@
+package reconfig
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/paxos"
+	"repro/internal/rpc"
+	"repro/internal/smr"
+	"repro/internal/statemachine"
+	"repro/internal/storage"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+// Options tunes the composition layer. The zero value is normalized to the
+// defaults below.
+type Options struct {
+	// Paxos configures every static engine this node runs.
+	Paxos paxos.Options
+	// RetryInterval is the period of the node's housekeeping loop:
+	// re-proposing pending commands, retrying snapshot fetches, checking
+	// for stale configurations. Default 20ms.
+	RetryInterval time.Duration
+	// LingerOld is how long a wedged engine keeps running after its
+	// successor activates, so lagging members can still catch up and
+	// learn the wedge from it. Default 1s.
+	LingerOld time.Duration
+	// FetchTimeout bounds one snapshot-fetch RPC attempt. Default 250ms.
+	FetchTimeout time.Duration
+	// StaleJumpTicks is how many housekeeping ticks a node waits for its
+	// own engine to deliver an already-announced wedge before jumping
+	// directly to the successor via state transfer. Default 25.
+	StaleJumpTicks int
+	// GossipTicks is how many housekeeping ticks pass between chain
+	// anti-entropy exchanges with a random known peer, the repair path
+	// for lost announces. Default 25.
+	GossipTicks int
+	// PendingMaxRetries drops a pending command after this many
+	// re-proposals (an abandoned client). Default 2000.
+	PendingMaxRetries int
+	// DisableSpeculation delays starting a successor engine until the
+	// initial state is installed, instead of starting it while the
+	// snapshot is still in flight. Ablation switch for experiments
+	// F2/F5; the paper's design keeps it false.
+	DisableSpeculation bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.RetryInterval <= 0 {
+		o.RetryInterval = 20 * time.Millisecond
+	}
+	if o.LingerOld <= 0 {
+		o.LingerOld = time.Second
+	}
+	if o.FetchTimeout <= 0 {
+		o.FetchTimeout = 250 * time.Millisecond
+	}
+	if o.StaleJumpTicks <= 0 {
+		o.StaleJumpTicks = 25
+	}
+	if o.GossipTicks <= 0 {
+		o.GossipTicks = 25
+	}
+	if o.PendingMaxRetries <= 0 {
+		o.PendingMaxRetries = 2000
+	}
+	return o
+}
+
+// NodeConfig wires a Node to its substrate.
+type NodeConfig struct {
+	Self     types.NodeID
+	Endpoint *transport.Endpoint
+	Store    storage.Store
+	Factory  statemachine.Factory
+	Opts     Options
+}
+
+// Errors returned by Node operations.
+var (
+	// ErrNotServing means this node is not an initialized member of the
+	// current configuration; consult another node.
+	ErrNotServing = errors.New("reconfig: node is not serving the current configuration")
+	// ErrConflict means a concurrent reconfiguration won; the caller's
+	// proposal was not adopted.
+	ErrConflict = errors.New("reconfig: a concurrent reconfiguration was chosen instead")
+	// ErrStopped is returned after Stop.
+	ErrStopped = errors.New("reconfig: node stopped")
+	// ErrNotBootstrapped means Start found no initial configuration.
+	ErrNotBootstrapped = errors.New("reconfig: store holds no initial configuration (call Bootstrap)")
+)
+
+type pendKey struct {
+	client types.NodeID
+	seq    uint64
+}
+
+type pendingCmd struct {
+	cmd        types.Command
+	responders []func(resp []byte)
+	tries      int
+}
+
+type engineRun struct {
+	id       types.ConfigID
+	cfg      types.Config
+	eng      *paxos.Replica
+	buffered []smr.Decision // decisions held until this config activates
+	done     chan struct{}  // consumer goroutine exit
+}
+
+type taggedDecision struct {
+	id  types.ConfigID
+	dec smr.Decision
+}
+
+// NodeStats is a snapshot of the node's counters.
+type NodeStats struct {
+	Applied             int64 // commands applied to the machine (incl. dups)
+	Duplicates          int64 // commands recognized as duplicates
+	Wedges              int64 // reconfigurations executed through own log
+	StaleJumps          int64 // transitions adopted via announce + transfer
+	SnapshotsServed     int64
+	SnapshotsFetched    int64
+	Resubmits           int64 // pending command re-proposals
+	InvariantViolations int64
+}
+
+// Node is one process's reconfigurable-SMR runtime: it hosts the static
+// engines of the configurations this node belongs to, applies the global
+// command sequence to the local state machine, executes reconfigurations and
+// serves the control plane (client submits, discovery, state transfer).
+type Node struct {
+	self    types.NodeID
+	ep      *transport.Endpoint
+	store   storage.Store
+	factory statemachine.Factory
+	opts    Options
+	peer    *rpc.Peer
+
+	mu          sync.Mutex
+	machine     *statemachine.Sessioned
+	initConfig  types.Config
+	configs     map[types.ConfigID]types.Config
+	chain       map[types.ConfigID]ChainRecord
+	curID       types.ConfigID
+	initialized bool // machine state is valid for curID; applying allowed
+	appliedSlot types.Slot
+	engines     map[types.ConfigID]*engineRun
+	pending     map[pendKey]*pendingCmd
+	cfgWaiters  []chan struct{} // signaled (closed) on every transition
+	fetching    bool
+	staleTicks  int
+	gossipLeft  int
+	gossipSeq   int
+	stopped     bool
+
+	applyCh    chan taggedDecision
+	stopCh     chan struct{}
+	stopOnce   sync.Once
+	wg         sync.WaitGroup
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	stats struct {
+		applied, duplicates, wedges, staleJumps int64
+		snapshotsServed, snapshotsFetched       int64
+		resubmits, violations                   int64
+	}
+}
+
+// NewNode constructs a Node. Call Bootstrap (first boot of an initial
+// member) and then Start.
+func NewNode(nc NodeConfig) (*Node, error) {
+	if nc.Self == "" || nc.Endpoint == nil || nc.Store == nil || nc.Factory == nil {
+		return nil, fmt.Errorf("reconfig: incomplete NodeConfig")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	n := &Node{
+		self:       nc.Self,
+		ep:         nc.Endpoint,
+		store:      nc.Store,
+		factory:    nc.Factory,
+		opts:       nc.Opts.withDefaults(),
+		configs:    make(map[types.ConfigID]types.Config),
+		chain:      make(map[types.ConfigID]ChainRecord),
+		engines:    make(map[types.ConfigID]*engineRun),
+		pending:    make(map[pendKey]*pendingCmd),
+		applyCh:    make(chan taggedDecision, 8192),
+		stopCh:     make(chan struct{}),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+	}
+	return n, nil
+}
+
+// Bootstrap persists the initial configuration and the empty initial
+// snapshot. Every member of the initial configuration must call it exactly
+// once before its first Start; it is idempotent for the same configuration.
+func (n *Node) Bootstrap(initial types.Config) error {
+	if _, err := types.NewConfig(initial.ID, initial.Members); err != nil {
+		return err
+	}
+	if initial.ID != 1 {
+		return fmt.Errorf("%w: initial configuration must have ID 1, got %d", types.ErrBadConfig, initial.ID)
+	}
+	if raw, ok, err := n.store.Get("rc/init"); err != nil {
+		return err
+	} else if ok {
+		prev, err := types.DecodeConfig(raw)
+		if err != nil {
+			return fmt.Errorf("existing init record: %w", err)
+		}
+		if !prev.Equal(initial) {
+			return fmt.Errorf("%w: store already bootstrapped with %s", types.ErrBadConfig, prev)
+		}
+		return nil
+	}
+	if err := n.store.Set("rc/init", types.EncodeConfig(initial)); err != nil {
+		return err
+	}
+	empty := statemachine.NewSessioned(n.factory())
+	return n.store.Set(snapKey(initial.ID), empty.Snapshot())
+}
+
+func snapKey(id types.ConfigID) string { return fmt.Sprintf("rc/snap/%020d", uint64(id)) }
+func chainKey(id types.ConfigID) string {
+	return fmt.Sprintf("rc/chain/%020d", uint64(id))
+}
+
+// Start recovers persistent state and launches the node's loops.
+func (n *Node) Start() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.stopped {
+		return ErrStopped
+	}
+
+	// A node may start with an empty store: it is a spare, idle until an
+	// announce makes it a member of some configuration.
+	raw, ok, err := n.store.Get("rc/init")
+	if err != nil {
+		return err
+	}
+	if ok {
+		init, err := types.DecodeConfig(raw)
+		if err != nil {
+			return fmt.Errorf("init record: %w", err)
+		}
+		n.initConfig = init
+		n.configs[init.ID] = init
+		n.curID = init.ID
+	}
+
+	// Recover the configuration chain. The newest known configuration is
+	// the largest successor on the chain (the chain is a path).
+	kvs, err := n.store.Scan("rc/chain/")
+	if err != nil {
+		return err
+	}
+	for _, kv := range kvs {
+		rec, err := decodeChainRecord(kv.Value)
+		if err != nil {
+			return fmt.Errorf("chain record %s: %w", kv.Key, err)
+		}
+		n.chain[rec.From] = rec
+		n.configs[rec.To.ID] = rec.To
+		if rec.To.ID > n.curID {
+			n.curID = rec.To.ID
+		}
+	}
+
+	// Recover the machine from the current configuration's initial
+	// snapshot; the engine's redelivered log replays the rest.
+	n.machine = statemachine.NewSessioned(n.factory())
+	if snap, ok, err := n.store.Get(snapKey(n.curID)); err != nil {
+		return err
+	} else if ok {
+		if err := n.machine.Restore(snap); err != nil {
+			return fmt.Errorf("restore snapshot of cfg %d: %w", n.curID, err)
+		}
+		n.initialized = true
+	} else {
+		// Crashed before installing the successor's state; the
+		// housekeeping loop re-fetches it.
+		n.initialized = false
+	}
+
+	cur := n.configs[n.curID]
+	if cur.IsMember(n.self) && (n.initialized || !n.opts.DisableSpeculation) {
+		if err := n.ensureEngineLocked(n.curID); err != nil {
+			return err
+		}
+	}
+
+	n.peer = rpc.NewPeer(n.ep, ControlStream, n.handleRPC)
+	n.wg.Add(2)
+	go n.applyLoop()
+	go n.housekeeping()
+	return nil
+}
+
+// Stop terminates the node: engines, loops and the control plane. Idempotent.
+func (n *Node) Stop() {
+	n.mu.Lock()
+	if n.stopped {
+		n.mu.Unlock()
+		return
+	}
+	n.stopped = true
+	engines := make([]*engineRun, 0, len(n.engines))
+	for _, run := range n.engines {
+		engines = append(engines, run)
+	}
+	peer := n.peer
+	n.mu.Unlock()
+
+	n.stopOnce.Do(func() { close(n.stopCh) })
+	n.baseCancel()
+	for _, run := range engines {
+		run.eng.Stop()
+		<-run.done
+	}
+	n.wg.Wait()
+	if peer != nil {
+		peer.Close()
+	}
+}
+
+// ensureEngineLocked creates and starts the engine for configuration id if
+// this node is a member and it is not already running. Caller holds mu.
+func (n *Node) ensureEngineLocked(id types.ConfigID) error {
+	if n.stopped {
+		return nil // shutting down; a new engine would never be reaped
+	}
+	if _, ok := n.engines[id]; ok {
+		return nil
+	}
+	cfg, ok := n.configs[id]
+	if !ok {
+		return fmt.Errorf("reconfig: unknown configuration %d", id)
+	}
+	if !cfg.IsMember(n.self) {
+		return nil
+	}
+	eng, err := paxos.New(cfg, n.self, n.ep, n.store, uint64(id), n.opts.Paxos)
+	if err != nil {
+		return err
+	}
+	run := &engineRun{id: id, cfg: cfg, eng: eng, done: make(chan struct{})}
+	if err := eng.Start(); err != nil {
+		return err
+	}
+	n.engines[id] = run
+	n.wg.Add(1)
+	go n.consumeEngine(run)
+	return nil
+}
+
+// consumeEngine forwards one engine's decisions into the shared apply queue.
+func (n *Node) consumeEngine(run *engineRun) {
+	defer n.wg.Done()
+	defer close(run.done)
+	for d := range run.eng.Decisions() {
+		select {
+		case n.applyCh <- taggedDecision{id: run.id, dec: d}:
+		case <-n.stopCh:
+			return
+		}
+	}
+}
+
+// scheduleEngineStop stops an old engine after the linger period, keeping it
+// available for laggards' catch-up meanwhile.
+func (n *Node) scheduleEngineStop(run *engineRun) {
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		select {
+		case <-time.After(n.opts.LingerOld):
+		case <-n.stopCh:
+		}
+		run.eng.Stop()
+	}()
+}
+
+// --- public inspection -------------------------------------------------------
+
+// Self returns this node's ID.
+func (n *Node) Self() types.NodeID { return n.self }
+
+// CurrentConfig returns the latest configuration this node knows.
+func (n *Node) CurrentConfig() types.Config {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.configs[n.curID].Clone()
+}
+
+// Serving reports whether this node is an initialized member of the current
+// configuration (i.e. can execute client commands).
+func (n *Node) Serving() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.initialized && n.configs[n.curID].IsMember(n.self)
+}
+
+// AppliedSlot returns the last applied slot within the current configuration.
+func (n *Node) AppliedSlot() (types.ConfigID, types.Slot) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.curID, n.appliedSlot
+}
+
+// ChainRecords returns the known chain records ordered by From.
+func (n *Node) ChainRecords() []ChainRecord {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]ChainRecord, 0, len(n.chain))
+	start := types.ConfigID(0)
+	for from := range n.chain {
+		if start == 0 || from < start {
+			start = from
+		}
+	}
+	for id := start; id != 0; {
+		rec, ok := n.chain[id]
+		if !ok {
+			break
+		}
+		out = append(out, rec)
+		id = rec.To.ID
+	}
+	return out
+}
+
+// Stats returns a snapshot of the node's counters.
+func (n *Node) Stats() NodeStats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return NodeStats{
+		Applied:             n.stats.applied,
+		Duplicates:          n.stats.duplicates,
+		Wedges:              n.stats.wedges,
+		StaleJumps:          n.stats.staleJumps,
+		SnapshotsServed:     n.stats.snapshotsServed,
+		SnapshotsFetched:    n.stats.snapshotsFetched,
+		Resubmits:           n.stats.resubmits,
+		InvariantViolations: n.stats.violations,
+	}
+}
+
+// Machine returns the node's sessioned machine for test inspection. Callers
+// must not mutate it concurrently with a running node.
+func (n *Node) Machine() *statemachine.Sessioned {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.machine
+}
+
+// notifyTransitionLocked wakes everyone waiting for a configuration change.
+func (n *Node) notifyTransitionLocked() {
+	for _, ch := range n.cfgWaiters {
+		close(ch)
+	}
+	n.cfgWaiters = nil
+	n.staleTicks = 0
+}
+
+// transitionWaiterLocked returns a channel closed at the next transition.
+func (n *Node) transitionWaiterLocked() chan struct{} {
+	ch := make(chan struct{})
+	n.cfgWaiters = append(n.cfgWaiters, ch)
+	return ch
+}

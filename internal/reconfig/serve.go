@@ -1,0 +1,487 @@
+package reconfig
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/types"
+)
+
+// handleRPC dispatches control-plane requests. It runs on a per-request
+// goroutine spawned by the rpc peer, so blocking is allowed.
+func (n *Node) handleRPC(from types.NodeID, req []byte, respond func([]byte)) {
+	if len(req) == 0 {
+		return
+	}
+	switch req[0] {
+	case opSubmit:
+		cmd, err := types.DecodeCommand(req[1:])
+		if err != nil {
+			return
+		}
+		n.handleSubmit(cmd, respond)
+	case opLocate:
+		n.mu.Lock()
+		reply := locateReply{
+			Config: n.configs[n.curID],
+			Wedged: func() bool { _, ok := n.chain[n.curID]; return ok }(),
+			Leader: n.leaderHintLocked(),
+		}
+		n.mu.Unlock()
+		respond(encodeLocateReply(reply))
+	case opXfer:
+		r := types.NewReader(req[1:])
+		id := types.ConfigID(r.Uvarint())
+		if r.Err() != nil {
+			return
+		}
+		snap, ok, err := n.store.Get(snapKey(id))
+		n.mu.Lock()
+		cfg := n.configs[id]
+		if ok && err == nil {
+			n.stats.snapshotsServed++
+		}
+		n.mu.Unlock()
+		respond(encodeXferReply(xferReply{Found: ok && err == nil, Snapshot: snap, Config: cfg}))
+	case opAnnounce:
+		rec, err := decodeChainRecord(req[1:])
+		if err != nil {
+			return
+		}
+		n.handleAnnounce(rec)
+		respond(encodeAnnounceAck())
+	case opReconfig:
+		r := types.NewReader(req[1:])
+		members := r.NodeIDs()
+		if r.Err() != nil {
+			return
+		}
+		ctx, cancel := context.WithTimeout(n.baseCtx, 30*time.Second)
+		defer cancel()
+		cfg, err := n.Reconfigure(ctx, members)
+		reply := reconfigReply{OK: err == nil, Config: cfg}
+		if err != nil {
+			reply.Detail = err.Error()
+		}
+		respond(encodeReconfigReply(reply))
+	case opChain:
+		recs := n.ChainRecords()
+		n.mu.Lock()
+		init := n.initConfig
+		n.mu.Unlock()
+		respond(encodeChainReply(chainReply{Initial: init, Records: recs}))
+	}
+}
+
+// handleSubmit services one client command: dedup fast path, or register a
+// pending waiter and propose into the current engine.
+func (n *Node) handleSubmit(cmd types.Command, respond func([]byte)) {
+	if cmd.Kind != types.CmdApp || cmd.Client == "" || cmd.Seq == 0 {
+		return // malformed; client library never sends this
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.stopped {
+		return
+	}
+	cur := n.configs[n.curID]
+	if !n.initialized || !cur.IsMember(n.self) {
+		respond(encodeSubmitReply(submitReply{
+			Status: SubmitRedirect,
+			Config: cur,
+			Leader: n.leaderHintLocked(),
+		}))
+		return
+	}
+	// Duplicate of an already-executed command: answer from the session
+	// table without touching the log.
+	if cmd.Seq <= n.machine.LastSeq(cmd.Client) {
+		reply, _ := n.machine.ApplyCommand(cmd) // dedup path: no mutation
+		respond(encodeSubmitReply(submitReply{
+			Status: SubmitApplied,
+			Reply:  reply,
+			Config: cur,
+			Leader: n.leaderHintLocked(),
+		}))
+		return
+	}
+	key := pendKey{client: cmd.Client, seq: cmd.Seq}
+	p, ok := n.pending[key]
+	if !ok {
+		p = &pendingCmd{cmd: cmd}
+		n.pending[key] = p
+	}
+	p.responders = append(p.responders, respond)
+	if run, ok := n.engines[n.curID]; ok {
+		_ = run.eng.Propose(cmd) // housekeeping re-proposes on loss
+	}
+}
+
+// handleAnnounce integrates a chain record learned from a peer: persist it,
+// speculatively start the successor engine if we belong to it, and — when we
+// are not actively executing an older configuration — advance directly.
+func (n *Node) handleAnnounce(rec ChainRecord) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.stopped {
+		return
+	}
+	if prev, ok := n.chain[rec.From]; ok {
+		if !prev.Equal(rec) {
+			n.stats.violations++ // chain fork: impossible under agreement
+		}
+	} else {
+		n.chain[rec.From] = rec
+		if err := n.store.Set(chainKey(rec.From), encodeChainRecord(rec)); err != nil {
+			n.stats.violations++
+		}
+	}
+	n.configs[rec.To.ID] = rec.To
+
+	// Speculative start (the paper's availability optimization): join the
+	// successor's engine before the state arrives so ordering can begin.
+	if rec.To.IsMember(n.self) && !n.opts.DisableSpeculation {
+		if err := n.ensureEngineLocked(rec.To.ID); err != nil {
+			n.stats.violations++
+		}
+	}
+
+	if rec.To.ID > n.curID {
+		executing := n.initialized && n.configs[n.curID].IsMember(n.self)
+		if !executing {
+			// Spare or retired node: adopt the newest configuration
+			// directly; the housekeeping loop fetches its state if we
+			// are a member.
+			n.advanceToLocked(rec.To.ID)
+		}
+		// Otherwise our own log delivers the wedge; the stale-jump
+		// fallback covers a dead predecessor quorum.
+	}
+}
+
+// advanceToLocked moves the node's execution cursor to configuration id
+// without local state (a fetch must follow if we are a member).
+func (n *Node) advanceToLocked(id types.ConfigID) {
+	if run, ok := n.engines[n.curID]; ok && n.curID < id {
+		n.scheduleEngineStop(run)
+	}
+	n.curID = id
+	n.appliedSlot = 0
+	n.initialized = false
+	cfg := n.configs[id]
+	if cfg.IsMember(n.self) {
+		if !n.opts.DisableSpeculation {
+			if err := n.ensureEngineLocked(id); err != nil {
+				n.stats.violations++
+			}
+		}
+	} else {
+		n.redirectAllPendingLocked()
+	}
+	n.notifyTransitionLocked()
+}
+
+// housekeeping drives retries: pending re-proposals, snapshot fetches, and
+// the stale-jump fallback.
+func (n *Node) housekeeping() {
+	defer n.wg.Done()
+	ticker := time.NewTicker(n.opts.RetryInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-n.stopCh:
+			return
+		case <-ticker.C:
+			n.houseTick()
+		}
+	}
+}
+
+func (n *Node) houseTick() {
+	n.mu.Lock()
+	cur := n.configs[n.curID]
+	member := cur.IsMember(n.self)
+
+	if n.initialized && member {
+		n.resubmitPendingLocked()
+	}
+
+	// Stale jump: a successor of our current configuration is known, but
+	// our own engine has not delivered the wedge (e.g. the old quorum is
+	// gone). After a grace period, transfer state instead of waiting.
+	if rec, ok := n.chain[n.curID]; ok && n.initialized {
+		n.staleTicks++
+		if n.staleTicks > n.opts.StaleJumpTicks {
+			n.stats.staleJumps++
+			n.advanceToLocked(rec.To.ID)
+			cur = n.configs[n.curID]
+			member = cur.IsMember(n.self)
+		}
+	} else if n.initialized {
+		n.staleTicks = 0
+	}
+
+	var fetchID types.ConfigID
+	var sources []types.NodeID
+	if !n.initialized && member && !n.fetching && n.curID != 0 {
+		n.fetching = true
+		fetchID = n.curID
+		sources = n.fetchSourcesLocked(fetchID)
+	}
+
+	// Anti-entropy: periodically trade chain knowledge with a random known
+	// peer. This is the repair path for lost announces — a member that
+	// missed a reconfiguration learns about the successor here. The
+	// exchange is symmetric: we push our newest record (so blank spares,
+	// which know nobody and cannot pull, still get reached) and pull the
+	// peer's chain.
+	var gossipTo types.NodeID
+	var gossipPush []byte
+	n.gossipLeft--
+	if n.gossipLeft <= 0 {
+		n.gossipLeft = n.opts.GossipTicks
+		gossipTo = n.gossipPeerLocked()
+		if rec, ok := n.chain[n.curID-1]; ok && gossipTo != "" {
+			gossipPush = encodeAnnounce(announceMsg{Record: rec})
+		}
+	}
+	n.mu.Unlock()
+
+	if fetchID != 0 {
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			n.fetchSnapshot(fetchID, sources)
+		}()
+	}
+	if gossipTo != "" {
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			n.gossipChain(gossipTo, gossipPush)
+		}()
+	}
+}
+
+// gossipPeerLocked picks a peer from all configurations this node knows.
+func (n *Node) gossipPeerLocked() types.NodeID {
+	seen := map[types.NodeID]bool{n.self: true}
+	var peers []types.NodeID
+	for _, cfg := range n.configs {
+		for _, m := range cfg.Members {
+			if !seen[m] {
+				seen[m] = true
+				peers = append(peers, m)
+			}
+		}
+	}
+	if len(peers) == 0 {
+		return ""
+	}
+	// Round-robin so every peer is covered within len(peers) rounds.
+	types.SortNodeIDs(peers)
+	n.gossipSeq++
+	return peers[n.gossipSeq%len(peers)]
+}
+
+// gossipChain pushes our newest record to a peer and pulls its chain,
+// merging anything new.
+func (n *Node) gossipChain(to types.NodeID, push []byte) {
+	if push != nil {
+		pctx, pcancel := context.WithTimeout(n.baseCtx, n.opts.FetchTimeout)
+		_, _ = n.peer.Call(pctx, to, push, 0)
+		pcancel()
+	}
+	ctx, cancel := context.WithTimeout(n.baseCtx, n.opts.FetchTimeout)
+	defer cancel()
+	resp, err := n.peer.Call(ctx, to, encodeChainQuery(), 0)
+	if err != nil {
+		return
+	}
+	cr, err := decodeChainReply(resp)
+	if err != nil {
+		return
+	}
+	if cr.Initial.ID != 0 {
+		n.mu.Lock()
+		if _, ok := n.configs[cr.Initial.ID]; !ok {
+			n.configs[cr.Initial.ID] = cr.Initial
+		}
+		n.mu.Unlock()
+	}
+	for _, rec := range cr.Records {
+		n.handleAnnounce(rec)
+	}
+}
+
+// fetchSourcesLocked lists peers likely to hold the initial snapshot of id:
+// the predecessor configuration's members (they computed it at the wedge)
+// and the configuration's own members (they may have installed it already).
+func (n *Node) fetchSourcesLocked(id types.ConfigID) []types.NodeID {
+	seen := map[types.NodeID]bool{n.self: true}
+	var out []types.NodeID
+	add := func(ids []types.NodeID) {
+		for _, m := range ids {
+			if !seen[m] {
+				seen[m] = true
+				out = append(out, m)
+			}
+		}
+	}
+	for from, rec := range n.chain {
+		if rec.To.ID == id {
+			add(rec.FromMembers)
+			add(n.configs[from].Members)
+		}
+	}
+	add(n.configs[id].Members)
+	return out
+}
+
+// fetchSnapshot tries the local store, then each source in turn, and
+// installs the first snapshot found.
+func (n *Node) fetchSnapshot(id types.ConfigID, sources []types.NodeID) {
+	if snap, ok, err := n.store.Get(snapKey(id)); err == nil && ok {
+		n.installSnapshot(id, snap)
+		return
+	}
+	for _, src := range sources {
+		ctx, cancel := context.WithTimeout(n.baseCtx, n.opts.FetchTimeout)
+		resp, err := n.peer.Call(ctx, src, encodeXfer(xferReq{Config: id}), 0)
+		cancel()
+		if err != nil {
+			continue
+		}
+		xr, err := decodeXferReply(resp)
+		if err != nil || !xr.Found {
+			continue
+		}
+		n.installSnapshot(id, xr.Snapshot)
+		return
+	}
+	// Nothing found this round; clear the flag so the next tick retries.
+	n.mu.Lock()
+	n.fetching = false
+	n.mu.Unlock()
+}
+
+// sendAnnounce fires one best-effort announce RPC without blocking the
+// caller; losses are repaired by discovery and the stale-jump path.
+func (n *Node) sendAnnounce(to types.NodeID, body []byte) {
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		ctx, cancel := context.WithTimeout(n.baseCtx, 500*time.Millisecond)
+		defer cancel()
+		_, _ = n.peer.Call(ctx, to, body, 0)
+	}()
+}
+
+// Submit executes one client command through this node and waits for the
+// result. It is the in-process equivalent of the client library's RPC.
+func (n *Node) Submit(ctx context.Context, client types.NodeID, seq uint64, op []byte) ([]byte, error) {
+	cmd := types.Command{Kind: types.CmdApp, Client: client, Seq: seq, Data: op}
+	ch := make(chan []byte, 1)
+	n.handleSubmit(cmd, func(resp []byte) {
+		select {
+		case ch <- resp:
+		default:
+		}
+	})
+	select {
+	case resp := <-ch:
+		sr, err := decodeSubmitReply(resp)
+		if err != nil {
+			return nil, err
+		}
+		switch sr.Status {
+		case SubmitApplied:
+			return sr.Reply, nil
+		case SubmitRedirect:
+			return nil, fmt.Errorf("%w: current is %s", ErrNotServing, sr.Config)
+		default:
+			return nil, fmt.Errorf("reconfig: submit busy")
+		}
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-n.stopCh:
+		return nil, ErrStopped
+	}
+}
+
+// Reconfigure proposes replacing the current configuration's member set and
+// waits until the configuration chain advances past the proposal. On success
+// it returns the new configuration; if a racing reconfiguration won the same
+// chain position it returns that winner and ErrConflict.
+func (n *Node) Reconfigure(ctx context.Context, members []types.NodeID) (types.Config, error) {
+	n.mu.Lock()
+	if n.stopped {
+		n.mu.Unlock()
+		return types.Config{}, ErrStopped
+	}
+	origID := n.curID
+	cur := n.configs[origID]
+	if !n.initialized || !cur.IsMember(n.self) {
+		n.mu.Unlock()
+		return types.Config{}, ErrNotServing
+	}
+	newCfg, err := types.NewConfig(origID+1, members)
+	if err != nil {
+		n.mu.Unlock()
+		return types.Config{}, err
+	}
+	cmd := types.ReconfigCommand(newCfg)
+	n.mu.Unlock()
+
+	ticker := time.NewTicker(n.opts.RetryInterval * 2)
+	defer ticker.Stop()
+	for {
+		n.mu.Lock()
+		if n.curID > origID {
+			won := n.configs[newCfg.ID]
+			n.mu.Unlock()
+			if won.Equal(newCfg) {
+				return newCfg, nil
+			}
+			return won, ErrConflict
+		}
+		waiter := n.transitionWaiterLocked()
+		run := n.engines[origID]
+		n.mu.Unlock()
+
+		if run != nil {
+			_ = run.eng.Propose(cmd)
+		}
+		select {
+		case <-waiter:
+		case <-ticker.C:
+		case <-ctx.Done():
+			return types.Config{}, ctx.Err()
+		case <-n.stopCh:
+			return types.Config{}, ErrStopped
+		}
+	}
+}
+
+// WaitServing blocks until the node is an initialized member of the current
+// configuration, or ctx expires.
+func (n *Node) WaitServing(ctx context.Context) error {
+	for {
+		n.mu.Lock()
+		if n.initialized && n.configs[n.curID].IsMember(n.self) {
+			n.mu.Unlock()
+			return nil
+		}
+		waiter := n.transitionWaiterLocked()
+		n.mu.Unlock()
+		select {
+		case <-waiter:
+		case <-time.After(n.opts.RetryInterval):
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-n.stopCh:
+			return ErrStopped
+		}
+	}
+}

@@ -1,0 +1,101 @@
+package reconfig
+
+import (
+	"repro/internal/types"
+)
+
+// Public wire API for external clients of the control plane (the client
+// library and tools). These wrap the internal codecs so the wire format has
+// exactly one definition.
+
+// SubmitResult is the decoded outcome of a submit RPC.
+type SubmitResult struct {
+	Status SubmitStatus
+	Reply  []byte
+	Config types.Config // current configuration hint
+	Leader types.NodeID // leader hint (may be empty)
+}
+
+// LocateResult is the decoded outcome of a locate RPC.
+type LocateResult struct {
+	Config types.Config
+	Wedged bool
+	Leader types.NodeID
+}
+
+// ReconfigResult is the decoded outcome of an admin reconfigure RPC.
+type ReconfigResult struct {
+	OK     bool
+	Detail string
+	Config types.Config
+}
+
+// ChainResult is the decoded outcome of a chain query.
+type ChainResult struct {
+	Initial types.Config
+	Records []ChainRecord
+}
+
+// EncodeSubmitRequest encodes a client command submission.
+func EncodeSubmitRequest(cmd types.Command) []byte {
+	return encodeSubmit(submitReq{Cmd: cmd})
+}
+
+// EncodeSubmitResult encodes a submit reply; the inverse of
+// DecodeSubmitResult (used by servers and by test doubles of the control
+// plane).
+func EncodeSubmitResult(res SubmitResult) []byte {
+	return encodeSubmitReply(submitReply{
+		Status: res.Status,
+		Reply:  res.Reply,
+		Config: res.Config,
+		Leader: res.Leader,
+	})
+}
+
+// DecodeSubmitResult decodes a submit reply.
+func DecodeSubmitResult(buf []byte) (SubmitResult, error) {
+	m, err := decodeSubmitReply(buf)
+	if err != nil {
+		return SubmitResult{}, err
+	}
+	return SubmitResult{Status: m.Status, Reply: m.Reply, Config: m.Config, Leader: m.Leader}, nil
+}
+
+// EncodeLocateRequest encodes a configuration-discovery request.
+func EncodeLocateRequest() []byte { return encodeLocate() }
+
+// DecodeLocateResult decodes a locate reply.
+func DecodeLocateResult(buf []byte) (LocateResult, error) {
+	m, err := decodeLocateReply(buf)
+	if err != nil {
+		return LocateResult{}, err
+	}
+	return LocateResult{Config: m.Config, Wedged: m.Wedged, Leader: m.Leader}, nil
+}
+
+// EncodeReconfigRequest encodes an admin membership-change request.
+func EncodeReconfigRequest(members []types.NodeID) []byte {
+	return encodeReconfigReq(reconfigReq{Members: members})
+}
+
+// DecodeReconfigResult decodes an admin reconfigure reply.
+func DecodeReconfigResult(buf []byte) (ReconfigResult, error) {
+	m, err := decodeReconfigReply(buf)
+	if err != nil {
+		return ReconfigResult{}, err
+	}
+	return ReconfigResult{OK: m.OK, Detail: m.Detail, Config: m.Config}, nil
+}
+
+// EncodeChainRequest encodes a chain dump request.
+func EncodeChainRequest() []byte { return encodeChainQuery() }
+
+// DecodeChainResult decodes a chain dump reply.
+func DecodeChainResult(buf []byte) (ChainResult, error) {
+	m, err := decodeChainReply(buf)
+	if err != nil {
+		return ChainResult{}, err
+	}
+	return ChainResult{Initial: m.Initial, Records: m.Records}, nil
+}

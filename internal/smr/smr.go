@@ -1,0 +1,54 @@
+// Package smr defines the engine-neutral interface between a state machine
+// replication engine (the "non-reconfigurable building block") and the layers
+// above it: the composition layer (internal/reconfig), the baselines and the
+// harness.
+//
+// The reconfigurable SMR of the paper treats the engine strictly as a black
+// box: it proposes commands, consumes the gap-free, in-order decision stream,
+// and stops the engine when the configuration is wedged. Nothing in this
+// interface exposes or permits membership change — that is the point of the
+// paper's construction.
+package smr
+
+import (
+	"errors"
+
+	"repro/internal/types"
+)
+
+// Decision is one decided log entry, delivered in slot order with no gaps.
+type Decision struct {
+	Slot types.Slot
+	Cmd  types.Command
+}
+
+// Engine is a static SMR instance over a fixed member set.
+//
+// Lifecycle: New -> Start -> (Propose / Decisions) -> Stop. After Stop the
+// decision channel is closed; Propose fails.
+type Engine interface {
+	// Start launches the engine's goroutines. It must be called once.
+	Start() error
+	// Stop terminates the engine and closes the decision stream. It is
+	// idempotent and waits for the engine's goroutines to exit.
+	Stop()
+	// Propose submits a command for total ordering. Non-leaders forward
+	// to the current leader; the command is decided at most once per
+	// proposal but may be lost (callers retry on timeout). Propose never
+	// blocks on consensus progress.
+	Propose(cmd types.Command) error
+	// Decisions returns the engine's in-order, gap-free decision stream.
+	// The channel is closed by Stop.
+	Decisions() <-chan Decision
+	// Leader returns the engine's current leader hint (empty when
+	// unknown) and whether this replica currently believes it is leader.
+	Leader() (types.NodeID, bool)
+}
+
+// ErrStopped is returned by Propose after the engine has stopped (e.g. the
+// configuration was wedged).
+var ErrStopped = errors.New("smr: engine stopped")
+
+// ErrNotMember is returned when constructing an engine on a node outside the
+// configuration.
+var ErrNotMember = errors.New("smr: node is not a member of the configuration")

@@ -1,0 +1,215 @@
+// Package smrtest is a reusable conformance suite for smr.Engine
+// implementations. Both engines in this repository — the static Paxos
+// building block and the in-band α-window baseline — must satisfy the same
+// observable contract: gap-free in-order decision delivery, agreement across
+// replicas, progress from any proposer, and clean stop semantics. Their test
+// packages invoke Run with a builder.
+package smrtest
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/smr"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+// Cluster is one running engine group under test.
+type Cluster struct {
+	Engines map[types.NodeID]smr.Engine
+	Network *transport.Network
+	Cleanup func()
+}
+
+// Builder constructs a started engine per member over a fresh network.
+type Builder func(t *testing.T, members []types.NodeID) Cluster
+
+// Run executes the conformance suite against the builder.
+func Run(t *testing.T, build Builder) {
+	t.Run("SingleNodeOrdering", func(t *testing.T) { runSingleNodeOrdering(t, build) })
+	t.Run("AgreementAcrossProposers", func(t *testing.T) { runAgreement(t, build) })
+	t.Run("StopSemantics", func(t *testing.T) { runStopSemantics(t, build) })
+	t.Run("ProgressAfterLeaderIsolation", func(t *testing.T) { runLeaderIsolation(t, build) })
+}
+
+type collector struct {
+	mu  sync.Mutex
+	seq map[types.NodeID][]smr.Decision
+	wg  sync.WaitGroup
+}
+
+func collect(c *Cluster) *collector {
+	col := &collector{seq: make(map[types.NodeID][]smr.Decision, len(c.Engines))}
+	for id, eng := range c.Engines {
+		id, eng := id, eng
+		col.wg.Add(1)
+		go func() {
+			defer col.wg.Done()
+			for d := range eng.Decisions() {
+				col.mu.Lock()
+				col.seq[id] = append(col.seq[id], d)
+				col.mu.Unlock()
+			}
+		}()
+	}
+	return col
+}
+
+func (c *collector) appCount(id types.NodeID) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for _, d := range c.seq[id] {
+		if d.Cmd.Kind == types.CmdApp {
+			n++
+		}
+	}
+	return n
+}
+
+// verify asserts gap-free slots and cross-node agreement on common prefixes.
+func (c *collector) verify(t *testing.T) {
+	t.Helper()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var ref []smr.Decision
+	for _, seq := range c.seq {
+		if len(seq) > len(ref) {
+			ref = seq
+		}
+	}
+	for id, seq := range c.seq {
+		for i, d := range seq {
+			if d.Slot != types.Slot(i+1) {
+				t.Fatalf("%s: slot %d at index %d (gap/disorder)", id, d.Slot, i)
+			}
+			if !d.Cmd.Equal(ref[i].Cmd) {
+				t.Fatalf("%s: agreement violated at slot %d", id, d.Slot)
+			}
+		}
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool, what string, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("conformance: timed out waiting for %s", what)
+}
+
+func proposeRetry(t *testing.T, eng smr.Engine, cmd types.Command) {
+	t.Helper()
+	for i := 0; i < 200; i++ {
+		if err := eng.Propose(cmd); err == nil {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatal("conformance: propose kept failing")
+}
+
+func appCmd(client string, seq uint64) types.Command {
+	return types.Command{Kind: types.CmdApp, Client: types.NodeID(client), Seq: seq,
+		Data: []byte(fmt.Sprintf("%s/%d", client, seq))}
+}
+
+func runSingleNodeOrdering(t *testing.T, build Builder) {
+	c := build(t, []types.NodeID{"n1"})
+	defer c.Cleanup()
+	col := collect(&c)
+	for i := 1; i <= 15; i++ {
+		proposeRetry(t, c.Engines["n1"], appCmd("c", uint64(i)))
+	}
+	waitFor(t, func() bool { return col.appCount("n1") >= 15 }, "15 decisions", 10*time.Second)
+	col.verify(t)
+}
+
+func runAgreement(t *testing.T, build Builder) {
+	members := []types.NodeID{"n1", "n2", "n3"}
+	c := build(t, members)
+	defer c.Cleanup()
+	col := collect(&c)
+	const per = 10
+	for i := 1; i <= per; i++ {
+		for _, m := range members {
+			proposeRetry(t, c.Engines[m], appCmd("c-"+string(m), uint64(i)))
+		}
+	}
+	waitFor(t, func() bool {
+		for _, m := range members {
+			if col.appCount(m) < 3*per {
+				return false
+			}
+		}
+		return true
+	}, "all decisions everywhere", 20*time.Second)
+	col.verify(t)
+}
+
+func runStopSemantics(t *testing.T, build Builder) {
+	c := build(t, []types.NodeID{"n1"})
+	eng := c.Engines["n1"]
+	col := collect(&c)
+	proposeRetry(t, eng, appCmd("c", 1))
+	waitFor(t, func() bool { return col.appCount("n1") >= 1 }, "one decision", 10*time.Second)
+
+	eng.Stop()
+	eng.Stop() // idempotent
+	if err := eng.Propose(appCmd("c", 2)); err != smr.ErrStopped {
+		t.Fatalf("Propose after Stop: %v", err)
+	}
+	// The decision channel must close (the collector goroutine exits).
+	done := make(chan struct{})
+	go func() { col.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("decision channel not closed by Stop")
+	}
+	c.Cleanup()
+}
+
+func runLeaderIsolation(t *testing.T, build Builder) {
+	members := []types.NodeID{"n1", "n2", "n3"}
+	c := build(t, members)
+	defer c.Cleanup()
+	col := collect(&c)
+
+	proposeRetry(t, c.Engines["n1"], appCmd("c", 1))
+	waitFor(t, func() bool { return col.appCount("n1") >= 1 }, "initial decision", 10*time.Second)
+
+	// Find the leader and cut it off.
+	var leader types.NodeID
+	waitFor(t, func() bool {
+		for id, eng := range c.Engines {
+			if _, am := eng.Leader(); am {
+				leader = id
+				return true
+			}
+		}
+		return false
+	}, "a leader", 10*time.Second)
+	c.Network.Isolate(leader)
+
+	var survivor types.NodeID
+	for _, m := range members {
+		if m != leader {
+			survivor = m
+			break
+		}
+	}
+	// Keep proposing through a survivor until the new regime commits it.
+	waitFor(t, func() bool {
+		_ = c.Engines[survivor].Propose(appCmd("c", 2))
+		return col.appCount(survivor) >= 2
+	}, "post-isolation decision", 20*time.Second)
+	col.verify(t)
+}

@@ -1,0 +1,77 @@
+package statemachine
+
+import (
+	"testing"
+)
+
+// FuzzKVApply: arbitrary op bytes must never panic the machine and must
+// leave it in a state that still snapshots/restores cleanly.
+func FuzzKVApply(f *testing.F) {
+	f.Add(EncodePut("k", []byte("v")))
+	f.Add(EncodeGet("k"))
+	f.Add(EncodeCAS("k", []byte("a"), []byte("b")))
+	f.Add(EncodeKeys("pre", 10))
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0x00, 0x01})
+	f.Fuzz(func(t *testing.T, op []byte) {
+		m := NewKVStore()
+		m.Apply(EncodePut("seed", []byte("1")))
+		reply := m.Apply(op)
+		if len(reply) == 0 {
+			t.Fatal("empty reply")
+		}
+		if st := ReplyStatus(reply); !(st == StatusOK || st == StatusNotFound || st == StatusBadOp || st == StatusConflict) {
+			t.Fatalf("unknown status %v", st)
+		}
+		m2 := NewKVStore()
+		if err := m2.Restore(m.Snapshot()); err != nil {
+			t.Fatalf("post-op snapshot broken: %v", err)
+		}
+	})
+}
+
+// FuzzBankApply mirrors FuzzKVApply for the bank machine, additionally
+// checking that no op can mint or destroy money except the documented ones.
+func FuzzBankApply(f *testing.F) {
+	f.Add(EncodeTransfer("a", "b", 5))
+	f.Add(EncodeBalance("a"))
+	f.Add(EncodeTotal())
+	f.Add([]byte{0x03})
+	f.Fuzz(func(t *testing.T, op []byte) {
+		m := NewBank()
+		m.Apply(EncodeOpen("a", 100))
+		m.Apply(EncodeOpen("b", 100))
+		before := m.Total()
+		reply := m.Apply(op)
+		if len(reply) == 0 {
+			t.Fatal("empty reply")
+		}
+		after := m.Total()
+		// Only Open and Deposit may change the total; both require a
+		// valid op of that kind.
+		if after != before {
+			if len(op) == 0 || (BankOp(op[0]) != BankOpen && BankOp(op[0]) != BankDeposit) {
+				t.Fatalf("op %v changed total %d -> %d", op, before, after)
+			}
+		}
+	})
+}
+
+// FuzzSessionedRestore: arbitrary snapshot bytes must never panic Restore.
+func FuzzSessionedRestore(f *testing.F) {
+	s := NewSessioned(NewKVStore())
+	s.ApplyCommand(appCmd("c", 1, EncodePut("k", []byte("v"))))
+	f.Add(s.Snapshot())
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff})
+	f.Fuzz(func(t *testing.T, snap []byte) {
+		s2 := NewSessioned(NewKVStore())
+		if err := s2.Restore(snap); err != nil {
+			return
+		}
+		// A restore that succeeded must produce a working machine.
+		if reply, _ := s2.ApplyCommand(appCmd("probe", 1, EncodeGet("k"))); len(reply) == 0 {
+			t.Fatal("restored machine dead")
+		}
+	})
+}

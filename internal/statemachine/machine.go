@@ -1,0 +1,87 @@
+// Package statemachine defines the replicated application layer: the
+// deterministic Machine interface every SMR engine drives, a client-session
+// deduplication wrapper giving at-most-once semantics across retries and
+// reconfigurations, and three concrete machines — a key/value store, a bank
+// with a conservation invariant, and a counter — used by the examples, tests
+// and experiments.
+package statemachine
+
+import "fmt"
+
+// Machine is a deterministic state machine. Implementations must be fully
+// deterministic: the same op sequence applied to the same initial state must
+// produce identical replies and identical snapshots on every replica.
+//
+// Application-level failures (unknown key, malformed op, ...) are encoded in
+// the reply — never as a Go error — so that a "failing" op is just as
+// deterministic as a succeeding one.
+type Machine interface {
+	// Apply executes one operation and returns its reply.
+	Apply(op []byte) []byte
+	// Snapshot serializes the complete state deterministically.
+	Snapshot() []byte
+	// Restore replaces the state with a previously taken snapshot.
+	// It returns an error only for corrupted input.
+	Restore(snapshot []byte) error
+}
+
+// Factory creates a fresh, empty machine. Each configuration's replica set
+// builds machines through a factory so crashed replicas restart clean and
+// restore from snapshots.
+type Factory func() Machine
+
+// Status is the leading byte of every reply produced by the machines in
+// this package. Values start at 1 so a zero byte is never a valid status.
+type Status uint8
+
+const (
+	// StatusOK signals success; the rest of the reply is op-specific.
+	StatusOK Status = 1
+	// StatusNotFound signals a lookup miss.
+	StatusNotFound Status = 2
+	// StatusBadOp signals a malformed or unknown operation.
+	StatusBadOp Status = 3
+	// StatusConflict signals a failed precondition (CAS mismatch,
+	// overdraft, duplicate account, ...).
+	StatusConflict Status = 4
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusNotFound:
+		return "not-found"
+	case StatusBadOp:
+		return "bad-op"
+	case StatusConflict:
+		return "conflict"
+	default:
+		return fmt.Sprintf("status(%d)", uint8(s))
+	}
+}
+
+// ReplyStatus extracts the status byte of a reply (StatusBadOp for empty).
+func ReplyStatus(reply []byte) Status {
+	if len(reply) == 0 {
+		return StatusBadOp
+	}
+	return Status(reply[0])
+}
+
+// ReplyPayload returns the reply body after the status byte.
+func ReplyPayload(reply []byte) []byte {
+	if len(reply) <= 1 {
+		return nil
+	}
+	return reply[1:]
+}
+
+func statusReply(s Status) []byte { return []byte{byte(s)} }
+
+func okReply(payload []byte) []byte {
+	out := make([]byte, 0, 1+len(payload))
+	out = append(out, byte(StatusOK))
+	return append(out, payload...)
+}

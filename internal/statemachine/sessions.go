@@ -1,0 +1,128 @@
+package statemachine
+
+import (
+	"fmt"
+
+	"repro/internal/types"
+)
+
+// Sessioned wraps a Machine with per-client-session deduplication, the
+// mechanism that makes command re-submission across retries and
+// reconfiguration boundaries idempotent (at-most-once execution).
+//
+// For every client it remembers the highest applied sequence number and the
+// reply to that command. A command with seq equal to the remembered one
+// returns the cached reply without re-applying; a smaller seq is stale and
+// returns no reply. Session state is part of the snapshot, so deduplication
+// survives state transfer to a successor configuration — the property the
+// paper's composition depends on.
+type Sessioned struct {
+	inner    Machine
+	sessions map[types.NodeID]sessionState
+}
+
+type sessionState struct {
+	lastSeq   uint64
+	lastReply []byte
+}
+
+// NewSessioned wraps inner with a fresh session table.
+func NewSessioned(inner Machine) *Sessioned {
+	return &Sessioned{inner: inner, sessions: make(map[types.NodeID]sessionState)}
+}
+
+// ApplyCommand applies cmd with deduplication. It returns the reply and
+// whether the command was recognized as a duplicate (in which case the inner
+// machine was not touched). System commands (empty Client) bypass dedup.
+// Noop commands are ignored entirely.
+func (s *Sessioned) ApplyCommand(cmd types.Command) (reply []byte, duplicate bool) {
+	if cmd.Kind == types.CmdNoop {
+		return nil, false
+	}
+	if cmd.Client == "" {
+		return s.inner.Apply(cmd.Data), false
+	}
+	sess, ok := s.sessions[cmd.Client]
+	if ok && cmd.Seq <= sess.lastSeq {
+		if cmd.Seq == sess.lastSeq {
+			return sess.lastReply, true
+		}
+		return nil, true // stale retry; the reply is long gone
+	}
+	reply = s.inner.Apply(cmd.Data)
+	s.sessions[cmd.Client] = sessionState{lastSeq: cmd.Seq, lastReply: reply}
+	return reply, false
+}
+
+// LastSeq returns the highest applied sequence number for client (0 if the
+// session is unknown).
+func (s *Sessioned) LastSeq(client types.NodeID) uint64 {
+	return s.sessions[client].lastSeq
+}
+
+// Sessions returns the number of tracked client sessions.
+func (s *Sessioned) Sessions() int { return len(s.sessions) }
+
+// Snapshot serializes the session table and the inner machine's state into a
+// single deterministic blob.
+func (s *Sessioned) Snapshot() []byte {
+	clients := make([]types.NodeID, 0, len(s.sessions))
+	for c := range s.sessions {
+		clients = append(clients, c)
+	}
+	types.SortNodeIDs(clients)
+	inner := s.inner.Snapshot()
+	w := types.NewWriter(16 + 32*len(clients) + len(inner))
+	w.Uvarint(uint64(len(clients)))
+	for _, c := range clients {
+		sess := s.sessions[c]
+		w.NodeID(c)
+		w.Uvarint(sess.lastSeq)
+		w.BytesField(sess.lastReply)
+	}
+	w.BytesField(inner)
+	return w.Bytes()
+}
+
+// Restore replaces both the session table and the inner machine's state.
+func (s *Sessioned) Restore(snapshot []byte) error {
+	r := types.NewReader(snapshot)
+	n := r.Uvarint()
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("session snapshot header: %w", err)
+	}
+	sessions := make(map[types.NodeID]sessionState, n)
+	for i := uint64(0); i < n; i++ {
+		c := r.NodeID()
+		seq := r.Uvarint()
+		rep := r.BytesField()
+		if err := r.Err(); err != nil {
+			return fmt.Errorf("session snapshot entry %d: %w", i, err)
+		}
+		sessions[c] = sessionState{lastSeq: seq, lastReply: rep}
+	}
+	inner := r.BytesField()
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("session snapshot body: %w", err)
+	}
+	if r.Remaining() != 0 {
+		return fmt.Errorf("%w: trailing bytes in session snapshot", types.ErrCodec)
+	}
+	if err := s.inner.Restore(inner); err != nil {
+		return fmt.Errorf("restore inner machine: %w", err)
+	}
+	s.sessions = sessions
+	return nil
+}
+
+// Inner returns the wrapped machine (read-only test access).
+func (s *Sessioned) Inner() Machine { return s.inner }
+
+// SessionClients returns the tracked client IDs in sorted order.
+func (s *Sessioned) SessionClients() []types.NodeID {
+	clients := make([]types.NodeID, 0, len(s.sessions))
+	for c := range s.sessions {
+		clients = append(clients, c)
+	}
+	return types.SortNodeIDs(clients)
+}

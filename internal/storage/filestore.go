@@ -1,0 +1,182 @@
+package storage
+
+import (
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// FileStore is a Store backed by one file per key in a directory — real
+// on-disk durability for deployments that outlive the process. Writes are
+// atomic (temp file + rename), so a crash mid-write leaves either the old
+// value or the new one, never a torn record; with SyncWrites on, each write
+// is fsynced before Set returns, which is what the Paxos acceptor's
+// promise-before-reply contract requires on a real disk.
+//
+// Keys map to file names by hex encoding, so arbitrary key bytes (including
+// the slot-key separators used by the engines) are filesystem-safe and
+// lexicographic order over keys equals order over file names.
+type FileStore struct {
+	dir  string
+	sync bool
+
+	mu     sync.Mutex
+	closed bool
+}
+
+var _ Store = (*FileStore)(nil)
+
+// FileOptions configures a FileStore.
+type FileOptions struct {
+	// SyncWrites fsyncs every Set/Delete before returning. Slower, but
+	// gives the durability the consensus layer assumes. Default false
+	// (rename-atomic but OS-buffered).
+	SyncWrites bool
+}
+
+// OpenFile opens (creating if needed) a file store rooted at dir.
+func OpenFile(dir string, opts FileOptions) (*FileStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: open %s: %w", dir, err)
+	}
+	return &FileStore{dir: dir, sync: opts.SyncWrites}, nil
+}
+
+// Key files are named "k" + hex(key); the prefix keeps the empty key valid
+// and cleanly separates key files from temp files and foreign content.
+func (s *FileStore) path(key string) string {
+	return filepath.Join(s.dir, "k"+hex.EncodeToString([]byte(key)))
+}
+
+// Set implements Store with an atomic temp-file + rename.
+func (s *FileStore) Set(key string, value []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrStoreClosed
+	}
+	tmp, err := os.CreateTemp(s.dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("storage: set %q: %w", key, err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(value); err != nil {
+		_ = tmp.Close()
+		_ = os.Remove(tmpName)
+		return fmt.Errorf("storage: set %q: %w", key, err)
+	}
+	if s.sync {
+		if err := tmp.Sync(); err != nil {
+			_ = tmp.Close()
+			_ = os.Remove(tmpName)
+			return fmt.Errorf("storage: sync %q: %w", key, err)
+		}
+	}
+	if err := tmp.Close(); err != nil {
+		_ = os.Remove(tmpName)
+		return fmt.Errorf("storage: set %q: %w", key, err)
+	}
+	if err := os.Rename(tmpName, s.path(key)); err != nil {
+		_ = os.Remove(tmpName)
+		return fmt.Errorf("storage: set %q: %w", key, err)
+	}
+	return nil
+}
+
+// Get implements Store.
+func (s *FileStore) Get(key string) ([]byte, bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, false, ErrStoreClosed
+	}
+	data, err := os.ReadFile(s.path(key))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, false, nil
+		}
+		return nil, false, fmt.Errorf("storage: get %q: %w", key, err)
+	}
+	return data, true, nil
+}
+
+// Delete implements Store.
+func (s *FileStore) Delete(key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrStoreClosed
+	}
+	if err := os.Remove(s.path(key)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("storage: delete %q: %w", key, err)
+	}
+	return nil
+}
+
+// Scan implements Store: all pairs with the key prefix, sorted by key.
+func (s *FileStore) Scan(prefix string) ([]KV, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrStoreClosed
+	}
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("storage: scan: %w", err)
+	}
+	var out []KV
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, "k") {
+			continue
+		}
+		raw, err := hex.DecodeString(name[1:])
+		if err != nil {
+			continue // foreign file in the directory
+		}
+		key := string(raw)
+		if !strings.HasPrefix(key, prefix) {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(s.dir, name))
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue // raced with Delete
+			}
+			return nil, fmt.Errorf("storage: scan %q: %w", key, err)
+		}
+		out = append(out, KV{Key: key, Value: data})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out, nil
+}
+
+// Sync implements Store: fsync the directory so renames are durable.
+func (s *FileStore) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrStoreClosed
+	}
+	d, err := os.Open(s.dir)
+	if err != nil {
+		return fmt.Errorf("storage: sync dir: %w", err)
+	}
+	defer func() { _ = d.Close() }()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("storage: sync dir: %w", err)
+	}
+	return nil
+}
+
+// Close marks the store closed; subsequent operations fail. Files remain on
+// disk for the next OpenFile.
+func (s *FileStore) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+}

@@ -1,0 +1,191 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func openTestFileStore(t *testing.T, sync bool) (*FileStore, string) {
+	t.Helper()
+	dir := t.TempDir()
+	s, err := OpenFile(dir, FileOptions{SyncWrites: sync})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, dir
+}
+
+func TestFileStoreRoundTrip(t *testing.T) {
+	s, _ := openTestFileStore(t, false)
+	if _, ok, _ := s.Get("k"); ok {
+		t.Fatal("empty store has key")
+	}
+	if err := s.Set("k", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := s.Get("k")
+	if err != nil || !ok || string(v) != "v1" {
+		t.Fatalf("get: %q %v %v", v, ok, err)
+	}
+	if err := s.Set("k", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	v, _, _ = s.Get("k")
+	if string(v) != "v2" {
+		t.Fatalf("overwrite: %q", v)
+	}
+	if err := s.Delete("k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := s.Get("k"); ok {
+		t.Fatal("delete failed")
+	}
+	if err := s.Delete("absent"); err != nil {
+		t.Fatalf("delete absent: %v", err)
+	}
+}
+
+func TestFileStoreKeysWithOddCharacters(t *testing.T) {
+	s, _ := openTestFileStore(t, false)
+	keys := []string{"a/b/c", "pxs/1/acc/00000000000000000007", "..", "with space", "üñïçødé", ""}
+	for i, k := range keys {
+		if err := s.Set(k, []byte{byte(i)}); err != nil {
+			t.Fatalf("set %q: %v", k, err)
+		}
+	}
+	for i, k := range keys {
+		v, ok, err := s.Get(k)
+		if err != nil || !ok || v[0] != byte(i) {
+			t.Fatalf("get %q: %v %v %v", k, v, ok, err)
+		}
+	}
+}
+
+func TestFileStoreScanSortedAndPrefixed(t *testing.T) {
+	s, _ := openTestFileStore(t, false)
+	for _, k := range []string{"log/3", "log/1", "log/2", "other"} {
+		_ = s.Set(k, []byte(k))
+	}
+	kvs, err := s.Scan("log/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kvs) != 3 || kvs[0].Key != "log/1" || kvs[2].Key != "log/3" {
+		t.Fatalf("scan: %v", kvs)
+	}
+	all, _ := s.Scan("")
+	if len(all) != 4 {
+		t.Fatalf("full scan: %d", len(all))
+	}
+}
+
+func TestFileStoreSlotKeyOrder(t *testing.T) {
+	s, _ := openTestFileStore(t, false)
+	for _, slot := range []uint64{3, 11, 7, 100, 2} {
+		_ = s.Set(SlotKey("dec/", slot), nil)
+	}
+	kvs, _ := s.Scan("dec/")
+	want := []uint64{2, 3, 7, 11, 100}
+	for i, kv := range kvs {
+		if kv.Key != SlotKey("dec/", want[i]) {
+			t.Fatalf("order at %d: %v", i, kv.Key)
+		}
+	}
+}
+
+func TestFileStorePersistsAcrossReopen(t *testing.T) {
+	s, dir := openTestFileStore(t, true)
+	_ = s.Set("promised", []byte("ballot"))
+	_ = s.Set("acc/1", []byte("entry"))
+	s.Close()
+
+	s2, err := OpenFile(dir, FileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, ok, _ := s2.Get("promised")
+	if !ok || string(v) != "ballot" {
+		t.Fatal("reopen lost data")
+	}
+	kvs, _ := s2.Scan("")
+	if len(kvs) != 2 {
+		t.Fatalf("reopen scan: %v", kvs)
+	}
+}
+
+func TestFileStoreIgnoresForeignAndTempFiles(t *testing.T) {
+	s, dir := openTestFileStore(t, false)
+	_ = s.Set("real", []byte("1"))
+	// Simulate a crash-orphaned temp file and an unrelated file.
+	if err := os.WriteFile(filepath.Join(dir, ".tmp-orphan"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "not-hex!"), []byte("y"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	kvs, err := s.Scan("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kvs) != 1 || kvs[0].Key != "real" {
+		t.Fatalf("scan polluted: %v", kvs)
+	}
+}
+
+func TestFileStoreClosedFails(t *testing.T) {
+	s, _ := openTestFileStore(t, false)
+	s.Close()
+	if err := s.Set("k", nil); err == nil {
+		t.Fatal("Set after Close")
+	}
+	if _, _, err := s.Get("k"); err == nil {
+		t.Fatal("Get after Close")
+	}
+	if _, err := s.Scan(""); err == nil {
+		t.Fatal("Scan after Close")
+	}
+	if err := s.Sync(); err == nil {
+		t.Fatal("Sync after Close")
+	}
+	if err := s.Delete("k"); err == nil {
+		t.Fatal("Delete after Close")
+	}
+}
+
+func TestFileStoreConcurrent(t *testing.T) {
+	s, _ := openTestFileStore(t, false)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				key := fmt.Sprintf("g%d/%d", g, i)
+				if err := s.Set(key, []byte{byte(i)}); err != nil {
+					t.Errorf("set: %v", err)
+					return
+				}
+				if _, ok, _ := s.Get(key); !ok {
+					t.Errorf("lost %s", key)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	kvs, _ := s.Scan("")
+	if len(kvs) != 200 {
+		t.Fatalf("len %d", len(kvs))
+	}
+}
+
+func TestFileStoreSyncDir(t *testing.T) {
+	s, _ := openTestFileStore(t, true)
+	_ = s.Set("k", []byte("v"))
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,275 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/types"
+)
+
+// NewTCPNetwork creates a Network whose deliveries travel over real loopback
+// TCP sockets instead of the in-memory scheduler. Everything else is
+// unchanged: the same Endpoint API, the same per-kind accounting, and the
+// same fault injection (loss, duplication, partitions and isolation are
+// applied before a frame reaches the wire; latency and reordering come from
+// the real kernel network stack).
+//
+// All endpoints live in one process — the listener registry is in-memory —
+// so this mode exercises real sockets, framing and kernel scheduling while
+// staying self-contained. Latency options (BaseLatency/Jitter/LinkLatency)
+// are ignored; the wire provides its own timing.
+func NewTCPNetwork(opts Options) *Network {
+	n := NewNetwork(opts)
+	n.mu.Lock()
+	n.tcp = newTCPFabric(n)
+	n.mu.Unlock()
+	return n
+}
+
+// maxFrame bounds one frame's payload (64 MiB), guarding the reader against
+// corrupt length prefixes.
+const maxFrame = 64 << 20
+
+// tcpFabric carries frames between endpoints over loopback sockets.
+type tcpFabric struct {
+	net *Network
+
+	mu        sync.Mutex
+	addrs     map[types.NodeID]string
+	listeners map[types.NodeID]net.Listener
+	conns     map[connKey]*outConn
+	accepted  []net.Conn
+	closed    bool
+	wg        sync.WaitGroup
+}
+
+type connKey struct {
+	from, to types.NodeID
+}
+
+type outConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+	bw   *bufio.Writer
+}
+
+func newTCPFabric(n *Network) *tcpFabric {
+	return &tcpFabric{
+		net:       n,
+		addrs:     make(map[types.NodeID]string),
+		listeners: make(map[types.NodeID]net.Listener),
+		conns:     make(map[connKey]*outConn),
+	}
+}
+
+// listenFor starts the accept loop for one endpoint.
+func (f *tcpFabric) listenFor(e *Endpoint) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		_ = ln.Close()
+		return ErrClosed
+	}
+	f.addrs[e.id] = ln.Addr().String()
+	f.listeners[e.id] = ln
+	f.mu.Unlock()
+
+	f.wg.Add(1)
+	go func() {
+		defer f.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			f.mu.Lock()
+			if f.closed {
+				f.mu.Unlock()
+				_ = conn.Close()
+				return
+			}
+			f.accepted = append(f.accepted, conn)
+			f.mu.Unlock()
+			f.wg.Add(1)
+			go func() {
+				defer f.wg.Done()
+				f.readLoop(conn)
+			}()
+		}
+	}()
+	return nil
+}
+
+// transmit sends one frame to the destination, dialing on demand. Failures
+// are silent — exactly like datagram loss; the protocols retransmit.
+func (f *tcpFabric) transmit(from, to types.NodeID, stream uint64, kind uint8, payload []byte) {
+	key := connKey{from: from, to: to}
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return
+	}
+	oc, ok := f.conns[key]
+	if !ok {
+		addr, haveAddr := f.addrs[to]
+		if !haveAddr {
+			f.mu.Unlock()
+			return
+		}
+		f.mu.Unlock()
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			return
+		}
+		oc = &outConn{conn: conn, bw: bufio.NewWriter(conn)}
+		f.mu.Lock()
+		if f.closed {
+			f.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		if existing, raced := f.conns[key]; raced {
+			f.mu.Unlock()
+			_ = conn.Close()
+			oc = existing
+		} else {
+			f.conns[key] = oc
+			f.mu.Unlock()
+		}
+	} else {
+		f.mu.Unlock()
+	}
+
+	frame := encodeFrame(from, stream, kind, payload)
+	oc.mu.Lock()
+	_, err := oc.bw.Write(frame)
+	if err == nil {
+		err = oc.bw.Flush()
+	}
+	oc.mu.Unlock()
+	if err != nil {
+		// Broken pipe: drop the cached conn so the next send redials.
+		f.mu.Lock()
+		if f.conns[key] == oc {
+			delete(f.conns, key)
+		}
+		f.mu.Unlock()
+		_ = oc.conn.Close()
+	}
+}
+
+// readLoop decodes frames from one accepted connection and injects them
+// into the destination endpoint's inbox.
+func (f *tcpFabric) readLoop(conn net.Conn) {
+	defer func() { _ = conn.Close() }()
+	br := bufio.NewReader(conn)
+	// The destination is the endpoint that owns the listener this conn was
+	// accepted on; frames carry from/stream/kind/payload. We recover the
+	// destination from the local address.
+	local := conn.LocalAddr().String()
+	var to types.NodeID
+	f.mu.Lock()
+	for id, addr := range f.addrs {
+		if addr == local {
+			to = id
+			break
+		}
+	}
+	f.mu.Unlock()
+	if to == "" {
+		return
+	}
+	for {
+		from, stream, kind, payload, err := decodeFrame(br)
+		if err != nil {
+			return
+		}
+		f.net.deliverDirect(&delivery{
+			from:    from,
+			to:      to,
+			stream:  stream,
+			kind:    kind,
+			payload: payload,
+		})
+	}
+}
+
+func (f *tcpFabric) close() {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return
+	}
+	f.closed = true
+	listeners := f.listeners
+	conns := f.conns
+	accepted := f.accepted
+	f.listeners = map[types.NodeID]net.Listener{}
+	f.conns = map[connKey]*outConn{}
+	f.accepted = nil
+	f.mu.Unlock()
+	for _, ln := range listeners {
+		_ = ln.Close()
+	}
+	for _, oc := range conns {
+		_ = oc.conn.Close()
+	}
+	for _, c := range accepted {
+		_ = c.Close()
+	}
+	f.wg.Wait()
+}
+
+// Frame layout: fromLen|from|stream|kind|payloadLen|payload, all varints
+// except kind (one byte).
+func encodeFrame(from types.NodeID, stream uint64, kind uint8, payload []byte) []byte {
+	buf := make([]byte, 0, len(from)+len(payload)+24)
+	buf = binary.AppendUvarint(buf, uint64(len(from)))
+	buf = append(buf, from...)
+	buf = binary.AppendUvarint(buf, stream)
+	buf = append(buf, kind)
+	buf = binary.AppendUvarint(buf, uint64(len(payload)))
+	buf = append(buf, payload...)
+	return buf
+}
+
+func decodeFrame(br *bufio.Reader) (from types.NodeID, stream uint64, kind uint8, payload []byte, err error) {
+	fromLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return "", 0, 0, nil, err
+	}
+	if fromLen > 4096 {
+		return "", 0, 0, nil, io.ErrUnexpectedEOF
+	}
+	fromBuf := make([]byte, fromLen)
+	if _, err := io.ReadFull(br, fromBuf); err != nil {
+		return "", 0, 0, nil, err
+	}
+	stream, err = binary.ReadUvarint(br)
+	if err != nil {
+		return "", 0, 0, nil, err
+	}
+	kindByte, err := br.ReadByte()
+	if err != nil {
+		return "", 0, 0, nil, err
+	}
+	plen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return "", 0, 0, nil, err
+	}
+	if plen > maxFrame {
+		return "", 0, 0, nil, io.ErrUnexpectedEOF
+	}
+	payload = make([]byte, plen)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		return "", 0, 0, nil, err
+	}
+	return types.NodeID(fromBuf), stream, kindByte, payload, nil
+}

@@ -1,0 +1,566 @@
+// Package transport provides the message substrate the replication stack
+// runs on: an in-memory simulated network with per-link latency, jitter,
+// loss, duplication, pairwise partitions and node isolation.
+//
+// The simulator preserves the properties consensus protocols are sensitive
+// to — asynchrony, reordering (via jitter), message loss, and partitions —
+// while keeping runs laptop-scale and seed-reproducible. It also keeps
+// per-message-kind counters so experiments can report message and byte
+// complexity (experiment T4).
+//
+// Every process in the system (replica or client) owns an Endpoint. Messages
+// are addressed (stream, kind, payload): stream demultiplexes independent
+// protocol instances sharing one endpoint (e.g. one static Paxos engine per
+// configuration), kind classifies the message for accounting.
+package transport
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/types"
+)
+
+// Handler consumes an inbound message. Handlers run on the endpoint's single
+// dispatch goroutine, so per-endpoint handling is serialized.
+type Handler func(from types.NodeID, stream uint64, kind uint8, payload []byte)
+
+// Options configures a Network. The zero value is usable: zero latency, no
+// loss, seed 0.
+type Options struct {
+	// BaseLatency is the fixed one-way delivery delay applied to every
+	// message.
+	BaseLatency time.Duration
+	// Jitter adds a uniform random delay in [0, Jitter) per message,
+	// which also induces reordering.
+	Jitter time.Duration
+	// LossRate is the probability in [0,1] that a message is silently
+	// dropped.
+	LossRate float64
+	// DupRate is the probability in [0,1] that a message is delivered
+	// twice (the duplicate gets independent latency).
+	DupRate float64
+	// Seed seeds the network's RNG for reproducible loss/jitter.
+	Seed int64
+	// InboxSize bounds each endpoint's inbound queue; messages beyond it
+	// are dropped (and counted). Defaults to 4096.
+	InboxSize int
+	// LinkLatency, if non-nil, overrides BaseLatency per link.
+	LinkLatency func(from, to types.NodeID) time.Duration
+}
+
+// Stats aggregates network-level accounting. Values are monotonically
+// increasing for the life of the network.
+type Stats struct {
+	MessagesSent int64
+	BytesSent    int64
+	Delivered    int64
+	DroppedLoss  int64 // dropped by the loss model
+	DroppedCut   int64 // dropped by partition/isolation
+	DroppedBusy  int64 // dropped because the inbox was full
+	DroppedDown  int64 // dropped because the endpoint was paused or closed
+	Duplicated   int64
+	PerKind      map[uint8]KindStats
+}
+
+// KindStats counts traffic for one message kind.
+type KindStats struct {
+	Messages int64
+	Bytes    int64
+}
+
+// ErrClosed is returned by operations on a closed network or endpoint.
+var ErrClosed = errors.New("transport: closed")
+
+// ErrUnknownNode is returned when sending to an unregistered node.
+var ErrUnknownNode = errors.New("transport: unknown node")
+
+type delivery struct {
+	at      time.Time
+	seq     uint64 // tie-break for deterministic heap order
+	from    types.NodeID
+	to      types.NodeID
+	stream  uint64
+	kind    uint8
+	payload []byte
+}
+
+type deliveryHeap []*delivery
+
+func (h deliveryHeap) Len() int { return len(h) }
+func (h deliveryHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h deliveryHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *deliveryHeap) Push(x any)   { *h = append(*h, x.(*delivery)) }
+func (h *deliveryHeap) Pop() any {
+	old := *h
+	n := len(old)
+	d := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return d
+}
+
+// Network is the simulated fabric connecting a set of endpoints.
+type Network struct {
+	opts Options
+
+	mu       sync.Mutex
+	rng      *rand.Rand
+	eps      map[types.NodeID]*Endpoint
+	queue    deliveryHeap
+	seq      uint64
+	blocked  map[[2]types.NodeID]bool // unordered pair, stored with lower id first
+	isolated map[types.NodeID]bool
+	stats    Stats
+	closed   bool
+
+	wake chan struct{}
+	done chan struct{}
+	wg   sync.WaitGroup
+
+	// tcp, when non-nil, carries deliveries over real loopback sockets
+	// instead of the in-memory scheduler (see NewTCPNetwork). The fault
+	// model (loss, cuts, duplication) still applies before transmission.
+	tcp *tcpFabric
+}
+
+// NewNetwork creates a network and starts its delivery scheduler.
+func NewNetwork(opts Options) *Network {
+	if opts.InboxSize <= 0 {
+		opts.InboxSize = 4096
+	}
+	n := &Network{
+		opts:     opts,
+		rng:      rand.New(rand.NewSource(opts.Seed)),
+		eps:      make(map[types.NodeID]*Endpoint),
+		blocked:  make(map[[2]types.NodeID]bool),
+		isolated: make(map[types.NodeID]bool),
+		wake:     make(chan struct{}, 1),
+		done:     make(chan struct{}),
+	}
+	n.stats.PerKind = make(map[uint8]KindStats)
+	n.wg.Add(1)
+	go n.run()
+	return n
+}
+
+// Close stops the scheduler and all endpoint dispatchers. Pending messages
+// are discarded. Close is idempotent.
+func (n *Network) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	eps := make([]*Endpoint, 0, len(n.eps))
+	for _, e := range n.eps {
+		eps = append(eps, e)
+	}
+	tcp := n.tcp
+	n.mu.Unlock()
+	close(n.done)
+	if tcp != nil {
+		tcp.close()
+	}
+	for _, e := range eps {
+		e.close()
+	}
+	n.wg.Wait()
+}
+
+// Endpoint registers (or returns the existing) endpoint for id.
+func (n *Network) Endpoint(id types.NodeID) *Endpoint {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if e, ok := n.eps[id]; ok {
+		return e
+	}
+	e := &Endpoint{
+		id:    id,
+		net:   n,
+		inbox: make(chan *delivery, n.opts.InboxSize),
+		quit:  make(chan struct{}),
+	}
+	n.eps[id] = e
+	n.wg.Add(1)
+	go e.dispatch(&n.wg)
+	if n.tcp != nil {
+		if err := n.tcp.listenFor(e); err != nil {
+			// Listener failure leaves the endpoint unreachable; count
+			// sends to it as down.
+			n.stats.DroppedDown++
+		}
+	}
+	return e
+}
+
+// Stats returns a snapshot of the accounting counters.
+func (n *Network) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := n.stats
+	out.PerKind = make(map[uint8]KindStats, len(n.stats.PerKind))
+	for k, v := range n.stats.PerKind {
+		out.PerKind[k] = v
+	}
+	return out
+}
+
+// ResetStats zeroes the accounting counters (partitions/isolation are kept).
+func (n *Network) ResetStats() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.stats = Stats{PerKind: make(map[uint8]KindStats)}
+}
+
+func pairKey(a, b types.NodeID) [2]types.NodeID {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]types.NodeID{a, b}
+}
+
+// BlockLink cuts the bidirectional link between a and b.
+func (n *Network) BlockLink(a, b types.NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.blocked[pairKey(a, b)] = true
+}
+
+// UnblockLink restores the link between a and b.
+func (n *Network) UnblockLink(a, b types.NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.blocked, pairKey(a, b))
+}
+
+// Isolate cuts every link of id (messages to and from id are dropped).
+func (n *Network) Isolate(id types.NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.isolated[id] = true
+}
+
+// Restore undoes Isolate for id.
+func (n *Network) Restore(id types.NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.isolated, id)
+}
+
+// Partition blocks every link that crosses between two of the given sides.
+// Links within a side are untouched.
+func (n *Network) Partition(sides ...[]types.NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for i := 0; i < len(sides); i++ {
+		for j := i + 1; j < len(sides); j++ {
+			for _, a := range sides[i] {
+				for _, b := range sides[j] {
+					n.blocked[pairKey(a, b)] = true
+				}
+			}
+		}
+	}
+}
+
+// HealAll removes all link blocks and isolations.
+func (n *Network) HealAll() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.blocked = make(map[[2]types.NodeID]bool)
+	n.isolated = make(map[types.NodeID]bool)
+}
+
+func (n *Network) cut(a, b types.NodeID) bool {
+	return n.isolated[a] || n.isolated[b] || n.blocked[pairKey(a, b)]
+}
+
+// send is called by endpoints; it applies the fault model and enqueues
+// deliveries.
+func (n *Network) send(from, to types.NodeID, stream uint64, kind uint8, payload []byte) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return ErrClosed
+	}
+	if _, ok := n.eps[to]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownNode, to)
+	}
+
+	n.stats.MessagesSent++
+	n.stats.BytesSent += int64(len(payload))
+	ks := n.stats.PerKind[kind]
+	ks.Messages++
+	ks.Bytes += int64(len(payload))
+	n.stats.PerKind[kind] = ks
+
+	if n.cut(from, to) {
+		n.stats.DroppedCut++
+		return nil // silently dropped, like a real partition
+	}
+	if n.opts.LossRate > 0 && n.rng.Float64() < n.opts.LossRate {
+		n.stats.DroppedLoss++
+		return nil
+	}
+	copies := 1
+	if n.opts.DupRate > 0 && n.rng.Float64() < n.opts.DupRate {
+		copies = 2
+		n.stats.Duplicated++
+	}
+	if n.tcp != nil {
+		for i := 0; i < copies; i++ {
+			n.tcp.transmit(from, to, stream, kind, payload)
+		}
+		return nil
+	}
+	now := time.Now()
+	for i := 0; i < copies; i++ {
+		lat := n.opts.BaseLatency
+		if n.opts.LinkLatency != nil {
+			lat = n.opts.LinkLatency(from, to)
+		}
+		if n.opts.Jitter > 0 {
+			lat += time.Duration(n.rng.Int63n(int64(n.opts.Jitter)))
+		}
+		n.seq++
+		heap.Push(&n.queue, &delivery{
+			at:      now.Add(lat),
+			seq:     n.seq,
+			from:    from,
+			to:      to,
+			stream:  stream,
+			kind:    kind,
+			payload: payload,
+		})
+	}
+	select {
+	case n.wake <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// run is the scheduler loop: it sleeps until the earliest delivery is due,
+// then hands it to the destination endpoint's inbox.
+func (n *Network) run() {
+	defer n.wg.Done()
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+	for {
+		n.mu.Lock()
+		var next *delivery
+		var wait time.Duration
+		now := time.Now()
+		for n.queue.Len() > 0 {
+			head := n.queue[0]
+			if head.at.After(now) {
+				wait = head.at.Sub(now)
+				break
+			}
+			next = heap.Pop(&n.queue).(*delivery)
+			break
+		}
+		var ep *Endpoint
+		if next != nil {
+			ep = n.eps[next.to]
+		}
+		n.mu.Unlock()
+
+		if next != nil {
+			if ep == nil {
+				continue
+			}
+			if !ep.enqueue(next) {
+				n.mu.Lock()
+				n.stats.DroppedBusy++
+				n.mu.Unlock()
+			}
+			continue
+		}
+
+		if wait <= 0 {
+			wait = time.Hour
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(wait)
+		select {
+		case <-n.done:
+			return
+		case <-n.wake:
+		case <-timer.C:
+		}
+	}
+}
+
+// deliverDirect injects an inbound delivery, bypassing the simulated
+// scheduler (used by the TCP fabric, where the wire supplies the latency).
+func (n *Network) deliverDirect(d *delivery) {
+	n.mu.Lock()
+	ep := n.eps[d.to]
+	n.mu.Unlock()
+	if ep == nil {
+		return
+	}
+	if !ep.enqueue(d) {
+		n.mu.Lock()
+		n.stats.DroppedBusy++
+		n.mu.Unlock()
+	}
+}
+
+func (n *Network) recordDelivered(down bool) {
+	n.mu.Lock()
+	if down {
+		n.stats.DroppedDown++
+	} else {
+		n.stats.Delivered++
+	}
+	n.mu.Unlock()
+}
+
+// Endpoint is one process's attachment to the network.
+type Endpoint struct {
+	id  types.NodeID
+	net *Network
+
+	mu       sync.Mutex
+	handlers map[uint64]Handler // per stream
+	catchAll Handler
+	paused   bool
+	closed   bool
+
+	inbox chan *delivery
+	quit  chan struct{}
+	once  sync.Once
+}
+
+// ID returns the endpoint's node ID.
+func (e *Endpoint) ID() types.NodeID { return e.id }
+
+// Handle registers h for messages on the given stream, replacing any
+// previous handler. A nil h unregisters the stream.
+func (e *Endpoint) Handle(stream uint64, h Handler) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.handlers == nil {
+		e.handlers = make(map[uint64]Handler)
+	}
+	if h == nil {
+		delete(e.handlers, stream)
+		return
+	}
+	e.handlers[stream] = h
+}
+
+// HandleAll registers a catch-all handler invoked for streams with no
+// specific handler.
+func (e *Endpoint) HandleAll(h Handler) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.catchAll = h
+}
+
+// Pause makes the endpoint drop all inbound messages, modeling a crashed
+// process that is still addressable.
+func (e *Endpoint) Pause() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.paused = true
+}
+
+// Resume undoes Pause.
+func (e *Endpoint) Resume() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.paused = false
+}
+
+// Paused reports whether the endpoint is currently dropping inbound traffic.
+func (e *Endpoint) Paused() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.paused
+}
+
+// Send transmits payload to the given node. It never blocks on the receiver;
+// delivery is asynchronous and may silently fail per the fault model.
+func (e *Endpoint) Send(to types.NodeID, stream uint64, kind uint8, payload []byte) error {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return ErrClosed
+	}
+	paused := e.paused
+	e.mu.Unlock()
+	if paused {
+		return nil // a crashed process sends nothing; drop silently
+	}
+	return e.net.send(e.id, to, stream, kind, payload)
+}
+
+// Broadcast sends payload to every node in targets (skipping self).
+func (e *Endpoint) Broadcast(targets []types.NodeID, stream uint64, kind uint8, payload []byte) {
+	for _, t := range targets {
+		if t == e.id {
+			continue
+		}
+		_ = e.Send(t, stream, kind, payload) // best-effort fan-out
+	}
+}
+
+func (e *Endpoint) enqueue(d *delivery) bool {
+	select {
+	case e.inbox <- d:
+		return true
+	case <-e.quit:
+		return true // closing; swallow
+	default:
+		return false
+	}
+}
+
+func (e *Endpoint) dispatch(wg *sync.WaitGroup) {
+	defer wg.Done()
+	for {
+		select {
+		case <-e.quit:
+			return
+		case d := <-e.inbox:
+			e.mu.Lock()
+			h := e.handlers[d.stream]
+			if h == nil {
+				h = e.catchAll
+			}
+			paused := e.paused || e.closed
+			e.mu.Unlock()
+			e.net.recordDelivered(paused || h == nil)
+			if paused || h == nil {
+				continue
+			}
+			h(d.from, d.stream, d.kind, d.payload)
+		}
+	}
+}
+
+func (e *Endpoint) close() {
+	e.mu.Lock()
+	e.closed = true
+	e.mu.Unlock()
+	e.once.Do(func() { close(e.quit) })
+}

@@ -1,0 +1,168 @@
+package types
+
+import (
+	"fmt"
+)
+
+// CommandKind distinguishes the payloads carried through the replicated log.
+// Values start at 1 so the zero value is invalid and decodable corruption is
+// caught early.
+type CommandKind uint8
+
+const (
+	// CmdApp is an opaque application command; the SMR layers never look
+	// inside Data, only the state machine does.
+	CmdApp CommandKind = 1
+	// CmdReconfig carries an encoded Config proposing the successor
+	// configuration. Deciding it wedges the current engine.
+	CmdReconfig CommandKind = 2
+	// CmdNoop fills a slot with no application effect. Leaders use it to
+	// finish slots left open by a previous leader.
+	CmdNoop CommandKind = 3
+	// CmdBatch packs several commands into one consensus slot (Data is an
+	// encoded command list). Leaders build batches; the apply layer
+	// unpacks them in order.
+	CmdBatch CommandKind = 4
+)
+
+// String implements fmt.Stringer.
+func (k CommandKind) String() string {
+	switch k {
+	case CmdApp:
+		return "app"
+	case CmdReconfig:
+		return "reconfig"
+	case CmdNoop:
+		return "noop"
+	case CmdBatch:
+		return "batch"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Valid reports whether k is a known command kind.
+func (k CommandKind) Valid() bool { return k >= CmdApp && k <= CmdBatch }
+
+// Command is one entry of a replicated log. Client/Seq identify the issuing
+// session for at-most-once semantics; they are zero for noops and for
+// system-issued reconfigurations that need no dedup.
+type Command struct {
+	Kind   CommandKind
+	Client NodeID // issuing client session; empty for system commands
+	Seq    uint64 // per-client sequence number, starts at 1
+	Data   []byte // app op bytes, or encoded Config for CmdReconfig
+}
+
+// IsNoop reports whether the command is a no-op filler.
+func (c Command) IsNoop() bool { return c.Kind == CmdNoop }
+
+// Equal reports deep equality of two commands.
+func (c Command) Equal(o Command) bool {
+	if c.Kind != o.Kind || c.Client != o.Client || c.Seq != o.Seq || len(c.Data) != len(o.Data) {
+		return false
+	}
+	for i := range c.Data {
+		if c.Data[i] != o.Data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String implements fmt.Stringer.
+func (c Command) String() string {
+	return fmt.Sprintf("{%s %s#%d %dB}", c.Kind, c.Client, c.Seq, len(c.Data))
+}
+
+// EncodedSize returns the exact byte length Encode will produce, for
+// pre-sizing buffers.
+func (c Command) EncodedSize() int {
+	return 1 + UvarintLen(uint64(len(c.Client))) + len(c.Client) +
+		UvarintLen(c.Seq) + UvarintLen(uint64(len(c.Data))) + len(c.Data)
+}
+
+// Encode appends the command's wire form to w.
+func (c Command) Encode(w *Writer) {
+	w.Byte(byte(c.Kind))
+	w.NodeID(c.Client)
+	w.Uvarint(c.Seq)
+	w.BytesField(c.Data)
+}
+
+// EncodeCommand returns the command's wire form as a fresh byte slice.
+func EncodeCommand(c Command) []byte {
+	w := NewWriter(c.EncodedSize())
+	c.Encode(w)
+	return w.Bytes()
+}
+
+// DecodeCommandFrom decodes a command from r.
+func DecodeCommandFrom(r *Reader) Command {
+	c := Command{
+		Kind:   CommandKind(r.Byte()),
+		Client: r.NodeID(),
+		Seq:    r.Uvarint(),
+		Data:   r.BytesField(),
+	}
+	if r.Err() == nil && !c.Kind.Valid() {
+		r.fail(fmt.Sprintf("command kind %d", c.Kind))
+	}
+	return c
+}
+
+// DecodeCommand decodes a command from a standalone buffer.
+func DecodeCommand(buf []byte) (Command, error) {
+	r := NewReader(buf)
+	c := DecodeCommandFrom(r)
+	if err := r.Err(); err != nil {
+		return Command{}, err
+	}
+	return c, nil
+}
+
+// NoopCommand returns the canonical no-op filler command.
+func NoopCommand() Command { return Command{Kind: CmdNoop} }
+
+// ReconfigCommand wraps cfg as a reconfiguration command.
+func ReconfigCommand(cfg Config) Command {
+	return Command{Kind: CmdReconfig, Data: EncodeConfig(cfg)}
+}
+
+// BatchCommand packs cmds into a single batch command. Batches must not be
+// nested; callers pass only non-batch commands.
+func BatchCommand(cmds []Command) Command {
+	sz := 4
+	for _, c := range cmds {
+		sz += 4 + c.EncodedSize()
+	}
+	w := NewWriter(sz)
+	w.Uvarint(uint64(len(cmds)))
+	for _, c := range cmds {
+		c.Encode(w)
+	}
+	return Command{Kind: CmdBatch, Data: w.Bytes()}
+}
+
+// DecodeBatch unpacks a batch command's payload.
+func DecodeBatch(data []byte) ([]Command, error) {
+	r := NewReader(data)
+	n := r.Uvarint()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if n > uint64(r.Remaining()) {
+		return nil, fmt.Errorf("%w: batch count %d", ErrCodec, n)
+	}
+	out := make([]Command, 0, n)
+	for i := uint64(0); i < n; i++ {
+		out = append(out, DecodeCommandFrom(r))
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if r.Remaining() != 0 {
+		return nil, fmt.Errorf("%w: trailing bytes in batch", ErrCodec)
+	}
+	return out, nil
+}

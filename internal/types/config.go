@@ -1,0 +1,134 @@
+package types
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Config describes one configuration in the chain: a fixed replica set that
+// runs exactly one static SMR instance for its whole lifetime. Configurations
+// are immutable once created; reconfiguration creates a successor with
+// ID = predecessor ID + 1.
+type Config struct {
+	ID      ConfigID
+	Members []NodeID // sorted, unique
+}
+
+// ErrBadConfig is returned for structurally invalid configurations.
+var ErrBadConfig = errors.New("invalid configuration")
+
+// NewConfig builds a configuration, sorting and validating the member set.
+func NewConfig(id ConfigID, members []NodeID) (Config, error) {
+	if id == 0 {
+		return Config{}, fmt.Errorf("%w: config ID 0 is reserved", ErrBadConfig)
+	}
+	if len(members) == 0 {
+		return Config{}, fmt.Errorf("%w: empty member set", ErrBadConfig)
+	}
+	ms := SortNodeIDs(CloneNodeIDs(members))
+	for i, m := range ms {
+		if m == "" {
+			return Config{}, fmt.Errorf("%w: empty member id", ErrBadConfig)
+		}
+		if i > 0 && ms[i-1] == m {
+			return Config{}, fmt.Errorf("%w: duplicate member %q", ErrBadConfig, m)
+		}
+	}
+	return Config{ID: id, Members: ms}, nil
+}
+
+// MustConfig is NewConfig for tests and examples with known-good inputs.
+func MustConfig(id ConfigID, members ...NodeID) Config {
+	c, err := NewConfig(id, members)
+	if err != nil {
+		panic(err) // programmer error in test fixtures only
+	}
+	return c
+}
+
+// N returns the number of members.
+func (c Config) N() int { return len(c.Members) }
+
+// Quorum returns the size of a majority quorum.
+func (c Config) Quorum() int { return len(c.Members)/2 + 1 }
+
+// IsMember reports whether id belongs to the configuration.
+func (c Config) IsMember(id NodeID) bool {
+	for _, m := range c.Members {
+		if m == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Others returns all members except id, for broadcast fan-out.
+func (c Config) Others(id NodeID) []NodeID {
+	out := make([]NodeID, 0, len(c.Members))
+	for _, m := range c.Members {
+		if m != id {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of the configuration.
+func (c Config) Clone() Config {
+	return Config{ID: c.ID, Members: CloneNodeIDs(c.Members)}
+}
+
+// Equal reports whether two configurations are identical.
+func (c Config) Equal(o Config) bool {
+	if c.ID != o.ID || len(c.Members) != len(o.Members) {
+		return false
+	}
+	for i := range c.Members {
+		if c.Members[i] != o.Members[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String implements fmt.Stringer, e.g. "cfg3{n1,n2,n5}".
+func (c Config) String() string {
+	parts := make([]string, len(c.Members))
+	for i, m := range c.Members {
+		parts[i] = string(m)
+	}
+	return fmt.Sprintf("cfg%d{%s}", c.ID, strings.Join(parts, ","))
+}
+
+// Encode appends the configuration's wire form to w.
+func (c Config) Encode(w *Writer) {
+	w.Uvarint(uint64(c.ID))
+	w.NodeIDs(c.Members)
+}
+
+// EncodeConfig returns the configuration's wire form as a fresh byte slice.
+func EncodeConfig(c Config) []byte {
+	w := NewWriter(8 + 12*len(c.Members))
+	c.Encode(w)
+	return w.Bytes()
+}
+
+// DecodeConfigFrom decodes a configuration from r.
+func DecodeConfigFrom(r *Reader) Config {
+	return Config{
+		ID:      ConfigID(r.Uvarint()),
+		Members: r.NodeIDs(),
+	}
+}
+
+// DecodeConfig decodes a configuration from a standalone buffer and
+// validates it.
+func DecodeConfig(buf []byte) (Config, error) {
+	r := NewReader(buf)
+	c := DecodeConfigFrom(r)
+	if err := r.Err(); err != nil {
+		return Config{}, err
+	}
+	return NewConfig(c.ID, c.Members)
+}

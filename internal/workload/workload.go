@@ -1,0 +1,131 @@
+// Package workload generates the client operation streams the experiments
+// run: key/value workloads with configurable read ratio, key-popularity
+// distribution (uniform or zipfian) and value size, plus state preloading
+// for the state-transfer-cost sweeps.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/statemachine"
+)
+
+// Distribution selects how keys are drawn. Values start at 1.
+type Distribution uint8
+
+const (
+	// Uniform draws keys uniformly.
+	Uniform Distribution = 1
+	// Zipf draws keys with zipfian popularity (s=1.1).
+	Zipf Distribution = 2
+)
+
+// Profile describes a KV workload.
+type Profile struct {
+	// Keys is the key-space size. Default 1000.
+	Keys int
+	// ValueSize is the written value size in bytes. Default 64.
+	ValueSize int
+	// ReadRatio in [0,1] is the fraction of reads. Default 0.5.
+	ReadRatio float64
+	// Dist selects the key distribution. Default Uniform.
+	Dist Distribution
+	// Seed seeds the generator.
+	Seed int64
+}
+
+func (p Profile) withDefaults() Profile {
+	if p.Keys <= 0 {
+		p.Keys = 1000
+	}
+	if p.ValueSize <= 0 {
+		p.ValueSize = 64
+	}
+	if p.ReadRatio < 0 {
+		p.ReadRatio = 0
+	}
+	if p.ReadRatio > 1 {
+		p.ReadRatio = 1
+	}
+	if p.Dist == 0 {
+		p.Dist = Uniform
+	}
+	return p
+}
+
+// Generator produces encoded KV operations. Not safe for concurrent use;
+// give each client goroutine its own (use Split).
+type Generator struct {
+	p    Profile
+	rng  *rand.Rand
+	zipf *rand.Zipf
+	val  []byte
+}
+
+// NewGenerator builds a generator for the profile.
+func NewGenerator(p Profile) *Generator {
+	p = p.withDefaults()
+	rng := rand.New(rand.NewSource(p.Seed))
+	g := &Generator{p: p, rng: rng, val: make([]byte, p.ValueSize)}
+	for i := range g.val {
+		g.val[i] = byte('a' + i%26)
+	}
+	if p.Dist == Zipf {
+		g.zipf = rand.NewZipf(rng, 1.1, 1.0, uint64(p.Keys-1))
+	}
+	return g
+}
+
+// Split derives an independent generator (distinct seed stream) for another
+// goroutine.
+func (g *Generator) Split(i int) *Generator {
+	p := g.p
+	p.Seed = g.p.Seed*31 + int64(i) + 1
+	return NewGenerator(p)
+}
+
+// Key draws the next key.
+func (g *Generator) Key() string {
+	var k uint64
+	if g.zipf != nil {
+		k = g.zipf.Uint64()
+	} else {
+		k = uint64(g.rng.Intn(g.p.Keys))
+	}
+	return fmt.Sprintf("key-%08d", k)
+}
+
+// Op draws the next encoded operation per the read ratio.
+func (g *Generator) Op() []byte {
+	if g.rng.Float64() < g.p.ReadRatio {
+		return statemachine.EncodeGet(g.Key())
+	}
+	return statemachine.EncodePut(g.Key(), g.val)
+}
+
+// IsRead reports whether an encoded op produced by this package is a read.
+func IsRead(op []byte) bool {
+	return len(op) > 0 && statemachine.KVOp(op[0]) == statemachine.KVGet
+}
+
+// PreloadOps returns the put operations that populate a KV machine with
+// exactly keys entries of valueSize bytes — the knob the state-transfer
+// experiments sweep. Deterministic.
+func PreloadOps(keys, valueSize int) [][]byte {
+	val := make([]byte, valueSize)
+	for i := range val {
+		val[i] = byte('A' + i%26)
+	}
+	out := make([][]byte, 0, keys)
+	for i := 0; i < keys; i++ {
+		out = append(out, statemachine.EncodePut(fmt.Sprintf("preload-%08d", i), val))
+	}
+	return out
+}
+
+// StateBytes estimates the snapshot footprint of a preloaded machine, for
+// labeling sweep points.
+func StateBytes(keys, valueSize int) int {
+	return keys * (valueSize + len("preload-00000000") + 4)
+}
