@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all build test race bench vet fmt-check ci
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector pass over the concurrent core; package-level tests are where
+# the lock-ordering and group-commit races would surface.
+race:
+	$(GO) test -race ./internal/...
+
+# Full experiment suite, one pass per benchmark (each iteration is a complete
+# wall-clock scenario). Storage micro-benchmarks get a real -benchtime.
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+	$(GO) test -run '^$$' -bench StorageBackends -benchtime 2s ./internal/storage/
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+ci: vet build test race fmt-check

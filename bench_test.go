@@ -38,6 +38,23 @@ func BenchmarkT1StaticPaxosScaling(b *testing.B) {
 	}
 }
 
+// BenchmarkT1DurableBackends — Table T1d: throughput/latency of the static
+// substrate with acceptor persistence on real storage backends (mem as the
+// no-durability reference, file-per-key vs group-commit WAL with fsync).
+func BenchmarkT1DurableBackends(b *testing.B) {
+	backends := []string{harness.StorageMem, harness.StorageFile, harness.StorageWAL}
+	for i := 0; i < b.N; i++ {
+		res, err := harness.RunT1Durable(tuning(), backends, 3, benchRunDur, benchClients)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Log("\n" + res.Render())
+		for _, row := range res.Rows {
+			b.ReportMetric(row.Throughput, "ops/s/"+row.Backend)
+		}
+	}
+}
+
 // BenchmarkF1ReconfigTimeline — Figure F1: committed-ops timeline around a
 // member swap, per system.
 func BenchmarkF1ReconfigTimeline(b *testing.B) {

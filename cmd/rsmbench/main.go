@@ -6,7 +6,7 @@
 //	rsmbench -exp t1            # one experiment
 //	rsmbench -exp all -dur 3s   # the full suite, 3s of load per run
 //
-// Experiment IDs: t1 f1 t2 f2 t3 f3 t4 f4 t5 f5 (see DESIGN.md §4).
+// Experiment IDs: t1 t1d f1 t2 f2 t3 f3 t4 f4 t5 f5 (see DESIGN.md §4).
 package main
 
 import (
@@ -25,16 +25,22 @@ func main() {
 
 func run() int {
 	var (
-		exp     = flag.String("exp", "all", "experiment ID (t1,f1,t2,f2,t3,f3,t4,f4,t5,f5 or all)")
+		exp     = flag.String("exp", "all", "experiment ID (t1,t1d,f1,t2,f2,t3,f3,t4,f4,t5,f5 or all)")
 		dur     = flag.Duration("dur", 2*time.Second, "load duration per run")
 		clients = flag.Int("clients", 4, "closed-loop client count")
 	)
 	flag.Parse()
+	if flag.NArg() > 0 {
+		// A stray positional arg (e.g. `rsmbench t1d` instead of
+		// `rsmbench -exp t1d`) would otherwise silently run the full suite.
+		fmt.Fprintf(os.Stderr, "unexpected argument %q (use -exp %s)\n", flag.Arg(0), flag.Arg(0))
+		return 2
+	}
 
 	tun := harness.DefaultTuning()
 	ids := strings.Split(strings.ToLower(*exp), ",")
 	if *exp == "all" {
-		ids = []string{"t1", "f1", "t2", "f2", "t3", "f3", "t4", "f4", "t5", "f5"}
+		ids = []string{"t1", "t1d", "f1", "t2", "f2", "t3", "f3", "t4", "f4", "t5", "f5"}
 	}
 	for _, id := range ids {
 		fmt.Printf("=== experiment %s ===\n", strings.ToUpper(id))
@@ -52,6 +58,13 @@ func runOne(id string, tun harness.Tuning, dur time.Duration, clients int) error
 	switch id {
 	case "t1":
 		res, err := harness.RunT1StaticScaling(tun, []int{3, 5, 7, 9}, dur, clients)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
+	case "t1d":
+		res, err := harness.RunT1Durable(tun,
+			[]string{harness.StorageMem, harness.StorageFile, harness.StorageWAL}, 3, dur, clients)
 		if err != nil {
 			return err
 		}

@@ -5,8 +5,10 @@
 //
 // Usage:
 //
-//	rsmd -n 3 -spares 2        # simulated network
-//	rsmd -n 3 -spares 2 -tcp   # real loopback TCP sockets
+//	rsmd -n 3 -spares 2                  # simulated network, in-memory stores
+//	rsmd -n 3 -spares 2 -tcp             # real loopback TCP sockets
+//	rsmd -n 3 -store wal -fsync          # group-commit WAL persistence
+//	rsmd -n 3 -store file -dir /tmp/rsm  # file-per-key persistence at a path
 //
 // Console commands:
 //
@@ -45,6 +47,9 @@ func run() int {
 	n := 3
 	spares := 2
 	useTCP := false
+	store := "mem"
+	storeDir := ""
+	fsync := false
 	args := os.Args[1:]
 	for i := 0; i < len(args); i++ {
 		switch args[i] {
@@ -60,6 +65,18 @@ func run() int {
 			}
 		case "-tcp":
 			useTCP = true
+		case "-store":
+			if i+1 < len(args) {
+				i++
+				store = args[i]
+			}
+		case "-dir":
+			if i+1 < len(args) {
+				i++
+				storeDir = args[i]
+			}
+		case "-fsync":
+			fsync = true
 		default:
 			fmt.Fprintf(os.Stderr, "unknown flag %q\n", args[i])
 			return 2
@@ -68,12 +85,21 @@ func run() int {
 	if n < 1 {
 		n = 1
 	}
+	switch store {
+	case "mem", "file", "wal":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown store %q (want mem, file or wal)\n", store)
+		return 2
+	}
 
 	c := cluster.New(cluster.Config{
-		Transport: transport.Options{BaseLatency: 200 * time.Microsecond, Jitter: 100 * time.Microsecond},
-		TCP:       useTCP,
-		Node:      cluster.FastOptions(),
-		Factory:   statemachine.NewKVMachine,
+		Transport:  transport.Options{BaseLatency: 200 * time.Microsecond, Jitter: 100 * time.Microsecond},
+		TCP:        useTCP,
+		Node:       cluster.FastOptions(),
+		Factory:    statemachine.NewKVMachine,
+		Storage:    store,
+		StorageDir: storeDir,
+		SyncWrites: fsync,
 	})
 	defer c.Close()
 
@@ -106,7 +132,11 @@ func run() int {
 	if useTCP {
 		mode = "loopback TCP"
 	}
-	fmt.Printf("cluster up: %s (+%d spares, %s). Type 'help' for commands.\n", cfg, spares, mode)
+	durability := store
+	if fsync {
+		durability += "+fsync"
+	}
+	fmt.Printf("cluster up: %s (+%d spares, %s, store=%s). Type 'help' for commands.\n", cfg, spares, mode, durability)
 
 	scanner := bufio.NewScanner(os.Stdin)
 	for {

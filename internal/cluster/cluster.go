@@ -8,6 +8,8 @@ package cluster
 import (
 	"context"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -31,6 +33,14 @@ type Config struct {
 	Node reconfig.Options
 	// Factory builds each node's state machine.
 	Factory statemachine.Factory
+	// Storage selects each node's backend: "mem" (default), "file"
+	// (one file per key) or "wal" (segmented group-commit log).
+	Storage string
+	// StorageDir roots the on-disk backends, one subdirectory per node.
+	// Empty means a fresh OS temp directory removed on Close.
+	StorageDir string
+	// SyncWrites makes on-disk backends fsync before acknowledging writes.
+	SyncWrites bool
 }
 
 // FastOptions returns node timing suitable for tests and local experiments:
@@ -58,7 +68,8 @@ type Cluster struct {
 
 	mu         sync.Mutex
 	nodes      map[types.NodeID]*reconfig.Node
-	stores     map[types.NodeID]*storage.MemStore
+	stores     map[types.NodeID]storage.Store
+	tempDir    string // created when StorageDir was empty; removed on Close
 	clients    []*client.Client
 	nextClient int
 	seeds      []types.NodeID
@@ -78,8 +89,45 @@ func New(cfg Config) *Cluster {
 		cfg:    cfg,
 		net:    newNet(cfg.Transport),
 		nodes:  make(map[types.NodeID]*reconfig.Node),
-		stores: make(map[types.NodeID]*storage.MemStore),
+		stores: make(map[types.NodeID]storage.Store),
 	}
+}
+
+// openStoreLocked builds one node's backend per the cluster config.
+func (c *Cluster) openStoreLocked(id types.NodeID) (storage.Store, error) {
+	switch c.cfg.Storage {
+	case "", "mem":
+		return storage.NewMem(), nil
+	case "file":
+		dir, err := c.storeDirLocked(id)
+		if err != nil {
+			return nil, err
+		}
+		return storage.OpenFile(dir, storage.FileOptions{SyncWrites: c.cfg.SyncWrites})
+	case "wal":
+		dir, err := c.storeDirLocked(id)
+		if err != nil {
+			return nil, err
+		}
+		return storage.OpenWALStore(dir, storage.WALStoreOptions{SyncWrites: c.cfg.SyncWrites})
+	default:
+		return nil, fmt.Errorf("cluster: unknown storage backend %q", c.cfg.Storage)
+	}
+}
+
+func (c *Cluster) storeDirLocked(id types.NodeID) (string, error) {
+	root := c.cfg.StorageDir
+	if root == "" {
+		if c.tempDir == "" {
+			dir, err := os.MkdirTemp("", "rsmd-store-*")
+			if err != nil {
+				return "", fmt.Errorf("cluster: storage dir: %w", err)
+			}
+			c.tempDir = dir
+		}
+		root = c.tempDir
+	}
+	return filepath.Join(root, string(id)), nil
 }
 
 // Close stops every node and client and tears down the network.
@@ -95,6 +143,11 @@ func (c *Cluster) Close() {
 		nodes = append(nodes, n)
 	}
 	clients := c.clients
+	stores := make([]storage.Store, 0, len(c.stores))
+	for _, st := range c.stores {
+		stores = append(stores, st)
+	}
+	tempDir := c.tempDir
 	c.mu.Unlock()
 	for _, cl := range clients {
 		cl.Close()
@@ -103,6 +156,17 @@ func (c *Cluster) Close() {
 		n.Stop()
 	}
 	c.net.Close()
+	for _, st := range stores {
+		switch s := st.(type) {
+		case *storage.FileStore:
+			s.Close()
+		case *storage.WALStore:
+			_ = s.Close()
+		}
+	}
+	if tempDir != "" {
+		_ = os.RemoveAll(tempDir)
+	}
 }
 
 // Network exposes the underlying simulated network for fault injection and
@@ -114,7 +178,10 @@ func (c *Cluster) Network() *transport.Network { return c.net }
 func (c *Cluster) newNodeLocked(id types.NodeID) (*reconfig.Node, error) {
 	st, ok := c.stores[id]
 	if !ok {
-		st = storage.NewMem()
+		var err error
+		if st, err = c.openStoreLocked(id); err != nil {
+			return nil, err
+		}
 		c.stores[id] = st
 	}
 	n, err := reconfig.NewNode(reconfig.NodeConfig{
@@ -235,7 +302,11 @@ func (c *Cluster) NewClient(opts client.Options) *client.Client {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.nextClient++
-	id := types.NodeID(fmt.Sprintf("client-%d", c.nextClient))
+	// The PID keeps session IDs distinct across process restarts over the
+	// same storage dir: a fresh process's (client, seq) pairs must not alias
+	// recovered session-table entries, or its first commands would be
+	// deduplicated into another life's cached replies.
+	id := types.NodeID(fmt.Sprintf("client-%d-%d", os.Getpid(), c.nextClient))
 	cl := client.New(id, c.net.Endpoint(id), c.seeds, opts)
 	c.clients = append(c.clients, cl)
 	return cl

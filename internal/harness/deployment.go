@@ -13,6 +13,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -81,7 +83,26 @@ type Tuning struct {
 	SpecOff  bool // composed only: disable speculative engine start
 	MaxDepth int  // paxos pipeline depth (0 = default)
 	Batch    int  // paxos commands per slot (0/1 = no batching; A1 ablation)
+
+	// Storage selects each node's backend: StorageMem (default), StorageFile
+	// or StorageWAL. On-disk backends make the durability experiments real:
+	// acceptor state actually hits the filesystem.
+	Storage string
+	// StorageDir roots the on-disk backends (one subdirectory per node).
+	// Empty means a fresh OS temp directory, removed when the deployment
+	// closes.
+	StorageDir string
+	// SyncWrites makes on-disk backends fsync before acknowledging writes —
+	// the real acceptor durability contract.
+	SyncWrites bool
 }
+
+// Storage backend names accepted by Tuning.Storage and the CLI flags.
+const (
+	StorageMem  = "mem"
+	StorageFile = "file"
+	StorageWAL  = "wal"
+)
 
 // DefaultTuning is the experiment-wide timing preset: ~200µs one-way links
 // with 100µs jitter and 1ms consensus ticks.
@@ -127,21 +148,96 @@ func NewDeployment(kind SystemKind, tuning Tuning, factory statemachine.Factory,
 // errNotNow signals "this node can't serve right now; try another/again".
 var errNotNow = errors.New("harness: node unavailable")
 
+// storeProvisioner builds per-node stores for one deployment according to
+// the tuning and owns whatever backs them (file handles, a temp directory).
+// It is used single-threaded during construction and again at Close.
+type storeProvisioner struct {
+	tuning  Tuning
+	root    string
+	tempDir bool
+	closers []func()
+}
+
+func newStoreProvisioner(t Tuning) *storeProvisioner {
+	return &storeProvisioner{tuning: t}
+}
+
+// open builds the store for one node.
+func (p *storeProvisioner) open(id types.NodeID) (storage.Store, error) {
+	switch p.tuning.Storage {
+	case "", StorageMem:
+		return storage.NewMem(), nil
+	case StorageFile:
+		dir, err := p.nodeDir(id)
+		if err != nil {
+			return nil, err
+		}
+		s, err := storage.OpenFile(dir, storage.FileOptions{SyncWrites: p.tuning.SyncWrites})
+		if err != nil {
+			return nil, err
+		}
+		p.closers = append(p.closers, s.Close)
+		return s, nil
+	case StorageWAL:
+		dir, err := p.nodeDir(id)
+		if err != nil {
+			return nil, err
+		}
+		s, err := storage.OpenWALStore(dir, storage.WALStoreOptions{SyncWrites: p.tuning.SyncWrites})
+		if err != nil {
+			return nil, err
+		}
+		p.closers = append(p.closers, func() { _ = s.Close() })
+		return s, nil
+	default:
+		return nil, fmt.Errorf("harness: unknown storage backend %q", p.tuning.Storage)
+	}
+}
+
+func (p *storeProvisioner) nodeDir(id types.NodeID) (string, error) {
+	if p.root == "" {
+		if p.tuning.StorageDir != "" {
+			p.root = p.tuning.StorageDir
+		} else {
+			dir, err := os.MkdirTemp("", "rsm-store-*")
+			if err != nil {
+				return "", fmt.Errorf("harness: storage dir: %w", err)
+			}
+			p.root = dir
+			p.tempDir = true
+		}
+	}
+	return filepath.Join(p.root, string(id)), nil
+}
+
+// close releases every store opened and removes the temp root, if any.
+func (p *storeProvisioner) close() {
+	for _, c := range p.closers {
+		c()
+	}
+	p.closers = nil
+	if p.tempDir && p.root != "" {
+		_ = os.RemoveAll(p.root)
+	}
+}
+
 // --- composed -----------------------------------------------------------------
 
 type composedDep struct {
-	net   *transport.Network
-	nodes map[types.NodeID]*reconfig.Node
-	mu    sync.Mutex
-	order []types.NodeID
-	rr    int
+	net    *transport.Network
+	stores *storeProvisioner
+	nodes  map[types.NodeID]*reconfig.Node
+	mu     sync.Mutex
+	order  []types.NodeID
+	rr     int
 }
 
 func newComposed(t Tuning, factory statemachine.Factory, initial, spares []types.NodeID) (*composedDep, error) {
 	d := &composedDep{
-		net:   transport.NewNetwork(t.Net),
-		nodes: make(map[types.NodeID]*reconfig.Node),
-		order: types.CloneNodeIDs(initial),
+		net:    transport.NewNetwork(t.Net),
+		stores: newStoreProvisioner(t),
+		nodes:  make(map[types.NodeID]*reconfig.Node),
+		order:  types.CloneNodeIDs(initial),
 	}
 	cfg, err := types.NewConfig(1, initial)
 	if err != nil {
@@ -157,10 +253,14 @@ func newComposed(t Tuning, factory statemachine.Factory, initial, spares []types
 		DisableSpeculation: t.SpecOff,
 	}
 	boot := func(id types.NodeID, member bool) error {
+		st, err := d.stores.open(id)
+		if err != nil {
+			return err
+		}
 		n, err := reconfig.NewNode(reconfig.NodeConfig{
 			Self:     id,
 			Endpoint: d.net.Endpoint(id),
-			Store:    storage.NewMem(),
+			Store:    st,
 			Factory:  factory,
 			Opts:     opts,
 		})
@@ -284,6 +384,7 @@ func (d *composedDep) Close() {
 		n.Stop()
 	}
 	d.net.Close()
+	d.stores.close()
 }
 
 // Nodes exposes the composed deployment's node map for experiments that
@@ -297,17 +398,19 @@ func (d *composedDep) Node(id types.NodeID) *reconfig.Node {
 // --- stop-the-world --------------------------------------------------------------
 
 type stwDep struct {
-	net  *transport.Network
-	svcs map[types.NodeID]*stw.Service
-	mu   sync.Mutex
-	cur  types.Config
-	rr   int
+	net    *transport.Network
+	stores *storeProvisioner
+	svcs   map[types.NodeID]*stw.Service
+	mu     sync.Mutex
+	cur    types.Config
+	rr     int
 }
 
 func newSTW(t Tuning, factory statemachine.Factory, initial, spares []types.NodeID) (*stwDep, error) {
 	d := &stwDep{
-		net:  transport.NewNetwork(t.Net),
-		svcs: make(map[types.NodeID]*stw.Service),
+		net:    transport.NewNetwork(t.Net),
+		stores: newStoreProvisioner(t),
+		svcs:   make(map[types.NodeID]*stw.Service),
 	}
 	cfg, err := types.NewConfig(1, initial)
 	if err != nil {
@@ -315,10 +418,15 @@ func newSTW(t Tuning, factory statemachine.Factory, initial, spares []types.Node
 	}
 	d.cur = cfg
 	for _, id := range append(append([]types.NodeID{}, initial...), spares...) {
+		st, err := d.stores.open(id)
+		if err != nil {
+			d.Close()
+			return nil, err
+		}
 		svc, err := stw.NewService(stw.Config{
 			Self:          id,
 			Endpoint:      d.net.Endpoint(id),
-			Store:         storage.NewMem(),
+			Store:         st,
 			Factory:       factory,
 			Paxos:         t.paxosOpts(),
 			RetryInterval: t.Retry,
@@ -393,33 +501,41 @@ func (d *stwDep) Close() {
 		svc.Stop()
 	}
 	d.net.Close()
+	d.stores.close()
 }
 
 // --- inband -------------------------------------------------------------------------
 
 type inbandDep struct {
-	net  *transport.Network
-	svcs map[types.NodeID]*inband.Service
-	mu   sync.Mutex
-	cur  []types.NodeID
-	rr   int
+	net    *transport.Network
+	stores *storeProvisioner
+	svcs   map[types.NodeID]*inband.Service
+	mu     sync.Mutex
+	cur    []types.NodeID
+	rr     int
 }
 
 func newInband(t Tuning, factory statemachine.Factory, initial, spares []types.NodeID) (*inbandDep, error) {
 	d := &inbandDep{
-		net:  transport.NewNetwork(t.Net),
-		svcs: make(map[types.NodeID]*inband.Service),
-		cur:  types.CloneNodeIDs(initial),
+		net:    transport.NewNetwork(t.Net),
+		stores: newStoreProvisioner(t),
+		svcs:   make(map[types.NodeID]*inband.Service),
+		cur:    types.CloneNodeIDs(initial),
 	}
 	cfg, err := types.NewConfig(1, initial)
 	if err != nil {
 		return nil, err
 	}
 	for _, id := range append(append([]types.NodeID{}, initial...), spares...) {
+		st, err := d.stores.open(id)
+		if err != nil {
+			d.Close()
+			return nil, err
+		}
 		svc, err := inband.NewService(inband.ServiceConfig{
 			Self:     id,
 			Endpoint: d.net.Endpoint(id),
-			Store:    storage.NewMem(),
+			Store:    st,
 			Factory:  factory,
 			Initial:  cfg,
 			Opts: inband.Options{
@@ -494,4 +610,5 @@ func (d *inbandDep) Close() {
 		svc.Stop()
 	}
 	d.net.Close()
+	d.stores.close()
 }

@@ -313,6 +313,52 @@ func RunT1StaticScaling(tuning Tuning, sizes []int, dur time.Duration, clients i
 	return res, nil
 }
 
+// --- T1d: durable-backend comparison ----------------------------------------------
+
+// T1DurableRow is one storage backend's steady-state measurement.
+type T1DurableRow struct {
+	Backend    string
+	Throughput float64 // acked ops/s
+	Latency    stats.Summary
+}
+
+// T1DurableResult compares storage backends with acceptor persistence
+// actually hitting the filesystem.
+type T1DurableResult struct {
+	N    int
+	Rows []T1DurableRow
+}
+
+// RunT1Durable measures the static engine at one cluster size across storage
+// backends. On-disk backends run with SyncWrites so every accept pays for
+// durability before replying — this is where the WAL's group commit separates
+// from file-per-key persistence.
+func RunT1Durable(tuning Tuning, backends []string, n int, dur time.Duration, clients int) (T1DurableResult, error) {
+	res := T1DurableResult{N: n}
+	for _, backend := range backends {
+		runtime.GC()
+		tb := tuning
+		tb.Storage = backend
+		tb.StorageDir = "" // fresh temp dir per backend run
+		tb.SyncWrites = backend != StorageMem
+		dep, err := NewDeployment(StopTheWorld, tb, statemachine.NewKVMachine, nodeNames("n", n), nil)
+		if err != nil {
+			return res, err
+		}
+		if err := waitWarm(dep); err != nil {
+			dep.Close()
+			return res, err
+		}
+		trace := NewTrace()
+		ctx, cancel := context.WithTimeout(context.Background(), dur)
+		runLoad(ctx, dep, clients, workload.Profile{Keys: 1000, ReadRatio: 0.5, Seed: 42}, trace)
+		cancel()
+		dep.Close()
+		res.Rows = append(res.Rows, T1DurableRow{Backend: backend, Throughput: trace.Throughput(), Latency: trace.LatencySummary()})
+	}
+	return res, nil
+}
+
 // --- F1/T2/T5: reconfiguration disruption ------------------------------------------
 
 // DisruptionResult measures one system's behaviour around a member swap.

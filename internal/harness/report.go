@@ -98,6 +98,26 @@ func (r T1Result) Render() string {
 		renderTable([]string{"replicas", "ops/s", "p50", "p99"}, rows)
 }
 
+// Render formats the durable-backend comparison table.
+func (r T1DurableResult) Render() string {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		mode := "fsync"
+		if row.Backend == StorageMem {
+			mode = "none"
+		}
+		rows = append(rows, []string{
+			row.Backend,
+			mode,
+			fmt.Sprintf("%.0f", row.Throughput),
+			fmtDur(row.Latency.P50),
+			fmtDur(row.Latency.P99),
+		})
+	}
+	return fmt.Sprintf("T1d: durable acceptor persistence by storage backend (n=%d)\n", r.N) +
+		renderTable([]string{"backend", "sync", "ops/s", "p50", "p99"}, rows)
+}
+
 // Render formats one disruption run as a figure-with-caption block.
 func (r DisruptionResult) Render() string {
 	var b strings.Builder

@@ -13,9 +13,29 @@ import (
 )
 
 // TestPaxosConformance runs the shared smr.Engine conformance suite against
-// the static Paxos engine.
+// the static Paxos engine on the in-memory store.
 func TestPaxosConformance(t *testing.T) {
-	smrtest.Run(t, func(t *testing.T, members []types.NodeID) smrtest.Cluster {
+	smrtest.Run(t, factoryWithStore(func(t *testing.T, id types.NodeID) storage.Store {
+		return storage.NewMem()
+	}))
+}
+
+// TestPaxosConformanceWAL runs the same suite with every replica persisting
+// through the group-commit WAL store in synchronous mode, proving the WAL
+// backend satisfies the acceptor durability contract end to end.
+func TestPaxosConformanceWAL(t *testing.T) {
+	smrtest.Run(t, factoryWithStore(func(t *testing.T, id types.NodeID) storage.Store {
+		s, err := storage.OpenWALStore(t.TempDir(), storage.WALStoreOptions{SyncWrites: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { _ = s.Close() })
+		return s
+	}))
+}
+
+func factoryWithStore(newStore func(t *testing.T, id types.NodeID) storage.Store) func(*testing.T, []types.NodeID) smrtest.Cluster {
+	return func(t *testing.T, members []types.NodeID) smrtest.Cluster {
 		net := transport.NewNetwork(transport.Options{
 			BaseLatency: 100 * time.Microsecond,
 			Jitter:      100 * time.Microsecond,
@@ -24,7 +44,7 @@ func TestPaxosConformance(t *testing.T) {
 		cfg := types.MustConfig(1, members...)
 		engines := make(map[types.NodeID]smr.Engine, len(members))
 		for _, id := range members {
-			rep, err := paxos.New(cfg, id, net.Endpoint(id), storage.NewMem(), 1, paxos.Options{
+			rep, err := paxos.New(cfg, id, net.Endpoint(id), newStore(t, id), 1, paxos.Options{
 				TickInterval:         time.Millisecond,
 				HeartbeatEveryTicks:  2,
 				ElectionTimeoutTicks: 10,
@@ -48,5 +68,5 @@ func TestPaxosConformance(t *testing.T) {
 				net.Close()
 			},
 		}
-	})
+	}
 }

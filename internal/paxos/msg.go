@@ -112,9 +112,11 @@ type catchupRespMsg struct {
 	Entries []decideMsg
 }
 
-// forwardMsg relays a proposal to the leader.
+// forwardMsg relays queued proposals to the leader. A follower packs its
+// whole pending queue into one frame instead of sending one frame per
+// command.
 type forwardMsg struct {
-	Cmd types.Command
+	Cmds []types.Command
 }
 
 func encodePrepare(m prepareMsg) []byte {
@@ -275,15 +277,42 @@ func decodeCatchupResp(buf []byte) (catchupRespMsg, error) {
 	return m, wrapDecode("catchup-resp", r)
 }
 
+// forwardBatchTag opens the multi-command forward encoding. The legacy
+// format started directly with a command, whose first byte is its kind —
+// and 0 is not a valid CommandKind — so the tag is unambiguous and old
+// frames still decode via the fallback below.
+const forwardBatchTag = 0
+
 func encodeForward(m forwardMsg) []byte {
-	w := types.NewWriter(m.Cmd.EncodedSize())
-	m.Cmd.Encode(w)
+	sz := 8
+	for _, c := range m.Cmds {
+		sz += c.EncodedSize()
+	}
+	w := types.NewWriter(sz)
+	w.Byte(forwardBatchTag)
+	w.Uvarint(uint64(len(m.Cmds)))
+	for _, c := range m.Cmds {
+		c.Encode(w)
+	}
 	return w.Bytes()
 }
 
 func decodeForward(buf []byte) (forwardMsg, error) {
+	if len(buf) > 0 && buf[0] == forwardBatchTag {
+		r := types.NewReader(buf[1:])
+		n := r.Uvarint()
+		if r.Err() == nil && n > uint64(r.Remaining()) {
+			return forwardMsg{}, fmt.Errorf("%w: forward command count %d", types.ErrCodec, n)
+		}
+		m := forwardMsg{Cmds: make([]types.Command, 0, n)}
+		for i := uint64(0); i < n; i++ {
+			m.Cmds = append(m.Cmds, types.DecodeCommandFrom(r))
+		}
+		return m, wrapDecode("forward", r)
+	}
+	// Legacy single-command frame from an older peer.
 	r := types.NewReader(buf)
-	m := forwardMsg{Cmd: types.DecodeCommandFrom(r)}
+	m := forwardMsg{Cmds: []types.Command{types.DecodeCommandFrom(r)}}
 	return m, wrapDecode("forward", r)
 }
 

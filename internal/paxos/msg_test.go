@@ -102,10 +102,35 @@ func TestCatchupRoundTrip(t *testing.T) {
 }
 
 func TestForwardRoundTrip(t *testing.T) {
-	m := forwardMsg{Cmd: types.Command{Kind: types.CmdApp, Client: "c1", Seq: 3, Data: []byte("op")}}
+	m := forwardMsg{Cmds: []types.Command{
+		{Kind: types.CmdApp, Client: "c1", Seq: 3, Data: []byte("op")},
+		{Kind: types.CmdApp, Client: "c2", Seq: 9, Data: []byte("other")},
+		types.NoopCommand(),
+	}}
 	got, err := decodeForward(encodeForward(m))
-	if err != nil || !got.Cmd.Equal(m.Cmd) {
+	if err != nil || len(got.Cmds) != len(m.Cmds) {
 		t.Fatalf("%+v %v", got, err)
+	}
+	for i := range m.Cmds {
+		if !got.Cmds[i].Equal(m.Cmds[i]) {
+			t.Fatalf("cmd %d: %+v", i, got.Cmds[i])
+		}
+	}
+	// Empty queue round-trips too.
+	got, err = decodeForward(encodeForward(forwardMsg{}))
+	if err != nil || len(got.Cmds) != 0 {
+		t.Fatalf("empty: %+v %v", got, err)
+	}
+}
+
+// TestForwardLegacyDecode ensures frames from peers running the old
+// one-command-per-frame forward encoding still decode.
+func TestForwardLegacyDecode(t *testing.T) {
+	cmd := types.Command{Kind: types.CmdApp, Client: "c1", Seq: 3, Data: []byte("op")}
+	legacy := types.EncodeCommand(cmd)
+	got, err := decodeForward(legacy)
+	if err != nil || len(got.Cmds) != 1 || !got.Cmds[0].Equal(cmd) {
+		t.Fatalf("legacy decode: %+v %v", got, err)
 	}
 }
 

@@ -86,7 +86,9 @@ func (r *Replica) handleMessage(m inboundMsg) {
 	case KindForward:
 		msg, err := decodeForward(m.payload)
 		if err == nil {
-			r.handlePropose(msg.Cmd)
+			for _, cmd := range msg.Cmds {
+				r.handlePropose(cmd)
+			}
 		}
 	}
 }
@@ -429,11 +431,22 @@ func (r *Replica) flushPendingToLeader() {
 	if hint == "" || hint == r.self {
 		return
 	}
-	for _, cmd := range r.pending {
-		r.send(hint, KindForward, encodeForward(forwardMsg{Cmd: cmd}))
+	// One frame for the whole queue (chunked so a huge backlog cannot
+	// produce an oversized frame); encodeForward copies, so the pending
+	// buffer can be reused immediately.
+	for pend := r.pending; len(pend) > 0; {
+		k := len(pend)
+		if k > maxForwardBatch {
+			k = maxForwardBatch
+		}
+		r.send(hint, KindForward, encodeForward(forwardMsg{Cmds: pend[:k]}))
+		pend = pend[k:]
 	}
 	r.pending = r.pending[:0]
 }
+
+// maxForwardBatch caps how many queued commands ride in one forward frame.
+const maxForwardBatch = 128
 
 // --- heartbeats & timers --------------------------------------------------------
 

@@ -135,8 +135,11 @@ func (s *FileStore) Scan(prefix string) ([]KV, error) {
 			continue
 		}
 		raw, err := hex.DecodeString(name[1:])
-		if err != nil {
-			continue // foreign file in the directory
+		if err != nil || hex.EncodeToString(raw) != name[1:] {
+			// Foreign file, or a non-canonical (e.g. uppercase-hex) alias
+			// of a key file we never wrote. Accepting aliases would let
+			// one key surface twice in a scan with no defined order.
+			continue
 		}
 		key := string(raw)
 		if !strings.HasPrefix(key, prefix) {

@@ -135,6 +135,42 @@ func TestFileStoreIgnoresForeignAndTempFiles(t *testing.T) {
 	}
 }
 
+// Regression: Scan must return keys in sorted order regardless of the order
+// the directory listing happens to yield, and non-canonical (uppercase-hex)
+// aliases of key files must not surface a key twice.
+func TestFileStoreScanDeterministic(t *testing.T) {
+	s, dir := openTestFileStore(t, false)
+	// Insert in deliberately shuffled order; readdir order is fs-dependent.
+	keys := []string{"m", "z/9", "a", "z/10", "k/2", "k/10", "", "z/1"}
+	for _, k := range keys {
+		if err := s.Set(k, []byte(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// An uppercase-hex alias of the "m" key file ("6d") — e.g. copied in by
+	// an external tool — must be ignored, not double-counted.
+	if err := os.WriteFile(filepath.Join(dir, "k6D"), []byte("alias"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for pass := 0; pass < 3; pass++ {
+		kvs, err := s.Scan("")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(kvs) != len(keys) {
+			t.Fatalf("pass %d: got %d keys, want %d: %v", pass, len(kvs), len(keys), kvs)
+		}
+		for i := 1; i < len(kvs); i++ {
+			if kvs[i-1].Key >= kvs[i].Key {
+				t.Fatalf("pass %d: unsorted at %d: %q >= %q", pass, i, kvs[i-1].Key, kvs[i].Key)
+			}
+		}
+		if string(kvs[len(kvs)-1].Value) != kvs[len(kvs)-1].Key {
+			t.Fatalf("pass %d: value mismatch: %v", pass, kvs[len(kvs)-1])
+		}
+	}
+}
+
 func TestFileStoreClosedFails(t *testing.T) {
 	s, _ := openTestFileStore(t, false)
 	s.Close()

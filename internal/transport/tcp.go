@@ -50,10 +50,65 @@ type connKey struct {
 	from, to types.NodeID
 }
 
+// outConn is one outbound connection. Frames are written into bw under mu
+// and flushed by a dedicated flusher goroutine, so a burst of transmits
+// (leader broadcast fan-out, a batch of forwards) reaches the kernel as one
+// write instead of one syscall per frame. TCP_NODELAY is set explicitly:
+// with our own coalescing in front, Nagle's algorithm would only add
+// latency.
 type outConn struct {
 	mu   sync.Mutex
 	conn net.Conn
 	bw   *bufio.Writer
+	err  error // sticky: the conn is dead, drop and redial
+
+	notify chan struct{} // cap 1: kick the flusher
+	quit   chan struct{}
+	stop   sync.Once
+}
+
+// shutdown closes the connection and stops the flusher, exactly once.
+func (oc *outConn) shutdown() {
+	oc.stop.Do(func() {
+		close(oc.quit)
+		_ = oc.conn.Close()
+	})
+}
+
+// flushLoop drains the bufio.Writer once per transmit burst: each notify
+// wakes it, and every frame written while a flush is in flight rides the
+// next one.
+func (f *tcpFabric) flushLoop(key connKey, oc *outConn) {
+	defer f.wg.Done()
+	for {
+		select {
+		case <-oc.quit:
+			return
+		case <-oc.notify:
+		}
+		oc.mu.Lock()
+		var err error
+		if oc.err == nil {
+			err = oc.bw.Flush()
+			oc.err = err
+		}
+		oc.mu.Unlock()
+		if err != nil {
+			f.dropConn(key, oc)
+			return
+		}
+	}
+}
+
+// dropConn forgets a dead connection so the next transmit redials. Failures
+// stay silent — exactly like datagram loss; the protocols retransmit.
+func (f *tcpFabric) dropConn(key connKey, oc *outConn) {
+	f.mu.Lock()
+	if f.conns[key] == oc {
+		delete(f.conns, key)
+	}
+	f.mu.Unlock()
+	oc.shutdown()
 }
 
 func newTCPFabric(n *Network) *tcpFabric {
@@ -107,8 +162,10 @@ func (f *tcpFabric) listenFor(e *Endpoint) error {
 	return nil
 }
 
-// transmit sends one frame to the destination, dialing on demand. Failures
-// are silent — exactly like datagram loss; the protocols retransmit.
+// transmit queues one frame to the destination, dialing on demand. The frame
+// lands in the connection's write buffer; the flusher goroutine pushes it to
+// the kernel, coalescing bursts into one syscall. Failures are silent —
+// exactly like datagram loss; the protocols retransmit.
 func (f *tcpFabric) transmit(from, to types.NodeID, stream uint64, kind uint8, payload []byte) {
 	key := connKey{from: from, to: to}
 	f.mu.Lock()
@@ -128,7 +185,17 @@ func (f *tcpFabric) transmit(from, to types.NodeID, stream uint64, kind uint8, p
 		if err != nil {
 			return
 		}
-		oc = &outConn{conn: conn, bw: bufio.NewWriter(conn)}
+		if tc, isTCP := conn.(*net.TCPConn); isTCP {
+			// We batch in userspace; Nagle would only delay the flushed
+			// burst behind un-acked data.
+			_ = tc.SetNoDelay(true)
+		}
+		oc = &outConn{
+			conn:   conn,
+			bw:     bufio.NewWriter(conn),
+			notify: make(chan struct{}, 1),
+			quit:   make(chan struct{}),
+		}
 		f.mu.Lock()
 		if f.closed {
 			f.mu.Unlock()
@@ -141,6 +208,8 @@ func (f *tcpFabric) transmit(from, to types.NodeID, stream uint64, kind uint8, p
 			oc = existing
 		} else {
 			f.conns[key] = oc
+			f.wg.Add(1)
+			go f.flushLoop(key, oc)
 			f.mu.Unlock()
 		}
 	} else {
@@ -149,19 +218,20 @@ func (f *tcpFabric) transmit(from, to types.NodeID, stream uint64, kind uint8, p
 
 	frame := encodeFrame(from, stream, kind, payload)
 	oc.mu.Lock()
-	_, err := oc.bw.Write(frame)
+	err := oc.err
 	if err == nil {
-		err = oc.bw.Flush()
+		_, err = oc.bw.Write(frame)
+		oc.err = err
 	}
 	oc.mu.Unlock()
 	if err != nil {
-		// Broken pipe: drop the cached conn so the next send redials.
-		f.mu.Lock()
-		if f.conns[key] == oc {
-			delete(f.conns, key)
-		}
-		f.mu.Unlock()
-		_ = oc.conn.Close()
+		f.dropConn(key, oc)
+		return
+	}
+	f.net.frameSizes.Observe(int64(len(frame)))
+	select {
+	case oc.notify <- struct{}{}:
+	default: // flusher already kicked; it will see this frame too
 	}
 }
 
@@ -219,7 +289,7 @@ func (f *tcpFabric) close() {
 		_ = ln.Close()
 	}
 	for _, oc := range conns {
-		_ = oc.conn.Close()
+		oc.shutdown()
 	}
 	for _, c := range accepted {
 		_ = c.Close()
