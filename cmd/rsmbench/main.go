@@ -5,8 +5,9 @@
 //
 //	rsmbench -exp t1            # one experiment
 //	rsmbench -exp all -dur 3s   # the full suite, 3s of load per run
+//	rsmbench -exp lin -seed 7   # linearizability chaos check from a seed
 //
-// Experiment IDs: t1 t1d f1 t2 f2 t3 f3 t4 f4 t5 f5 (see DESIGN.md §4).
+// Experiment IDs: t1 t1d f1 t2 f2 t3 f3 t4 f4 t5 f5 lin (see DESIGN.md §4).
 package main
 
 import (
@@ -25,9 +26,10 @@ func main() {
 
 func run() int {
 	var (
-		exp     = flag.String("exp", "all", "experiment ID (t1,t1d,f1,t2,f2,t3,f3,t4,f4,t5,f5 or all)")
+		exp     = flag.String("exp", "all", "experiment ID (t1,t1d,f1,t2,f2,t3,f3,t4,f4,t5,f5,lin or all)")
 		dur     = flag.Duration("dur", 2*time.Second, "load duration per run")
 		clients = flag.Int("clients", 4, "closed-loop client count")
+		seed    = flag.Int64("seed", 1, "nemesis schedule seed (lin experiment)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -44,7 +46,7 @@ func run() int {
 	}
 	for _, id := range ids {
 		fmt.Printf("=== experiment %s ===\n", strings.ToUpper(id))
-		if err := runOne(id, tun, *dur, *clients); err != nil {
+		if err := runOne(id, tun, *dur, *clients, *seed); err != nil {
 			fmt.Fprintf(os.Stderr, "experiment %s: %v\n", id, err)
 			return 1
 		}
@@ -53,7 +55,7 @@ func run() int {
 	return 0
 }
 
-func runOne(id string, tun harness.Tuning, dur time.Duration, clients int) error {
+func runOne(id string, tun harness.Tuning, dur time.Duration, clients int, seed int64) error {
 	allSystems := []harness.SystemKind{harness.Composed, harness.StopTheWorld, harness.Inband}
 	switch id {
 	case "t1":
@@ -141,6 +143,15 @@ func runOne(id string, tun harness.Tuning, dur time.Duration, clients int) error
 			}
 		}
 		fmt.Print(harness.RenderCrossover(results))
+	case "lin":
+		res, err := harness.RunLin(tun, seed, dur, clients)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
+		if res.Unknown || !res.Linearizable {
+			return fmt.Errorf("linearizability check did not pass (seed %d)", seed)
+		}
 	default:
 		return fmt.Errorf("unknown experiment %q", id)
 	}

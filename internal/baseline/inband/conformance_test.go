@@ -12,16 +12,9 @@ import (
 	"repro/internal/types"
 )
 
-// TestInbandConformance runs the shared smr.Engine conformance suite against
-// the in-band α-window engine (with no reconfigurations in flight it must
-// behave exactly like a static engine, modulo the pipeline cap).
-func TestInbandConformance(t *testing.T) {
-	smrtest.Run(t, func(t *testing.T, members []types.NodeID) smrtest.Cluster {
-		net := transport.NewNetwork(transport.Options{
-			BaseLatency: 100 * time.Microsecond,
-			Jitter:      100 * time.Microsecond,
-			Seed:        3,
-		})
+func inbandBuilder(netOpts transport.Options) smrtest.Builder {
+	return func(t *testing.T, members []types.NodeID) smrtest.Cluster {
+		net := transport.NewNetwork(netOpts)
 		cfg := types.MustConfig(1, members...)
 		engines := make(map[types.NodeID]smr.Engine, len(members))
 		for _, id := range members {
@@ -50,5 +43,29 @@ func TestInbandConformance(t *testing.T) {
 				net.Close()
 			},
 		}
-	})
+	}
+}
+
+// TestInbandConformance runs the shared smr.Engine conformance suite against
+// the in-band α-window engine (with no reconfigurations in flight it must
+// behave exactly like a static engine, modulo the pipeline cap).
+func TestInbandConformance(t *testing.T) {
+	smrtest.Run(t, inbandBuilder(transport.Options{
+		BaseLatency: 100 * time.Microsecond,
+		Jitter:      100 * time.Microsecond,
+		Seed:        3,
+	}))
+}
+
+// TestInbandConformanceAdversarial reruns the suite over a degraded network —
+// 3% loss, 2% duplication, heavy jitter. The α-window pipeline must make the
+// same guarantees when retransmissions do the heavy lifting.
+func TestInbandConformanceAdversarial(t *testing.T) {
+	smrtest.Run(t, inbandBuilder(transport.Options{
+		BaseLatency: 100 * time.Microsecond,
+		Jitter:      500 * time.Microsecond,
+		LossRate:    0.03,
+		DupRate:     0.02,
+		Seed:        3,
+	}))
 }

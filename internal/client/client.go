@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/history"
 	"repro/internal/reconfig"
 	"repro/internal/rpc"
 	"repro/internal/transport"
@@ -27,6 +28,12 @@ type Options struct {
 	Resend time.Duration
 	// RetryBackoff is the pause between failed attempts. Default 5ms.
 	RetryBackoff time.Duration
+	// Recorder, when set, captures every Submit/SubmitSeq as a history
+	// operation: acknowledged submits record their reply, a submit that
+	// gives up (ctx expired or client closed) after the command may have
+	// reached the service records an ambiguous outcome, and one that
+	// provably never left the client records a failure.
+	Recorder *history.Recorder
 }
 
 func (o Options) withDefaults() Options {
@@ -158,15 +165,29 @@ func (c *Client) Submit(ctx context.Context, op []byte) ([]byte, error) {
 func (c *Client) SubmitSeq(ctx context.Context, seq uint64, op []byte) ([]byte, error) {
 	cmd := types.Command{Kind: types.CmdApp, Client: c.id, Seq: seq, Data: op}
 	req := reconfig.EncodeSubmitRequest(cmd)
+	rec := c.opts.Recorder
+	h := -1
+	if rec != nil {
+		h = rec.Invoke(c.id, seq, op)
+	}
+	sent := false // true once any attempt may have reached the service
 	for {
 		target := c.nextTarget()
 		if target == "" {
+			if rec != nil {
+				if sent {
+					rec.Info(h)
+				} else {
+					rec.Fail(h)
+				}
+			}
 			return nil, fmt.Errorf("client: no known nodes")
 		}
 		c.mu.Lock()
 		c.stats.Attempts++
 		c.mu.Unlock()
 
+		sent = true
 		attempt, cancel := context.WithTimeout(ctx, c.opts.AttemptTimeout)
 		resp, err := c.peer.Call(attempt, target, req, c.opts.Resend)
 		cancel()
@@ -178,6 +199,9 @@ func (c *Client) SubmitSeq(ctx context.Context, seq uint64, op []byte) ([]byte, 
 					c.mu.Lock()
 					c.stats.Submits++
 					c.mu.Unlock()
+					if rec != nil {
+						rec.Ok(h, res.Reply)
+					}
 					return res.Reply, nil
 				case reconfig.SubmitRedirect:
 					c.mu.Lock()
@@ -188,6 +212,9 @@ func (c *Client) SubmitSeq(ctx context.Context, seq uint64, op []byte) ([]byte, 
 		}
 		select {
 		case <-ctx.Done():
+			if rec != nil {
+				rec.Info(h)
+			}
 			return nil, ctx.Err()
 		case <-time.After(c.opts.RetryBackoff):
 		}

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/history"
 	"repro/internal/reconfig"
 	"repro/internal/rpc"
 	"repro/internal/transport"
@@ -205,5 +206,105 @@ func TestClientSeqMonotonic(t *testing.T) {
 		if seqs[i] <= seqs[i-1] {
 			t.Fatalf("sequence numbers not increasing: %v", seqs)
 		}
+	}
+}
+
+func TestClientRecordsHistory(t *testing.T) {
+	net := transport.NewNetwork(transport.Options{})
+	defer net.Close()
+	newFakeNode(t, net, "n1", func(cmd types.Command) reconfig.SubmitResult {
+		return applied([]byte("reply"), types.MustConfig(1, "n1"), "n1")
+	})
+	rec := history.New()
+	c := New("c1", net.Endpoint("c1"), []types.NodeID{"n1"}, Options{Recorder: rec})
+	defer c.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := c.Submit(ctx, []byte("op")); err != nil {
+		t.Fatal(err)
+	}
+	ops := rec.Ops()
+	if len(ops) != 1 {
+		t.Fatalf("want 1 recorded op, got %d", len(ops))
+	}
+	op := ops[0]
+	if op.Outcome != history.OutcomeOk || string(op.Output) != "reply" ||
+		string(op.Input) != "op" || op.Client != "c1" {
+		t.Fatalf("recorded op: %+v", op)
+	}
+}
+
+// A timed-out submit is AMBIGUOUS — the command may have been delivered and
+// applied even though no acknowledgment came back — so the recorder must get
+// Info, never Fail.
+func TestClientRecordsTimeoutAsInfo(t *testing.T) {
+	net := transport.NewNetwork(transport.Options{})
+	defer net.Close()
+	net.Endpoint("mute") // registered, receives, never answers
+	rec := history.New()
+	c := New("c1", net.Endpoint("c1"), []types.NodeID{"mute"}, Options{
+		Recorder:       rec,
+		AttemptTimeout: 20 * time.Millisecond,
+		RetryBackoff:   time.Millisecond,
+	})
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 80*time.Millisecond)
+	defer cancel()
+	if _, err := c.Submit(ctx, []byte("x")); err == nil {
+		t.Fatal("submit against mute node succeeded")
+	}
+	_, infoN, failN := rec.Counts()
+	if infoN != 1 || failN != 0 {
+		t.Fatalf("timeout must record info, not fail: info=%d fail=%d", infoN, failN)
+	}
+}
+
+// A submit that never had a node to talk to certainly did not execute: Fail.
+func TestClientRecordsNoSeedsAsFail(t *testing.T) {
+	net := transport.NewNetwork(transport.Options{})
+	defer net.Close()
+	rec := history.New()
+	c := New("c1", net.Endpoint("c1"), nil, Options{Recorder: rec})
+	defer c.Close()
+	if _, err := c.Submit(context.Background(), []byte("x")); err == nil {
+		t.Fatal("submit with no seeds succeeded")
+	}
+	_, infoN, failN := rec.Counts()
+	if failN != 1 || infoN != 0 {
+		t.Fatalf("unsent op must record fail: info=%d fail=%d", infoN, failN)
+	}
+}
+
+// Retrying the same seq after a timeout must merge into one logical op.
+func TestClientRetryMergesIntoOneOp(t *testing.T) {
+	net := transport.NewNetwork(transport.Options{})
+	defer net.Close()
+	newFakeNode(t, net, "n1", func(cmd types.Command) reconfig.SubmitResult {
+		return applied([]byte("ok"), types.MustConfig(1, "n1"), "n1")
+	})
+	rec := history.New()
+	c := New("c1", net.Endpoint("c1"), []types.NodeID{"n1"}, Options{Recorder: rec})
+	defer c.Close()
+
+	// First attempt: impossible deadline, times out -> info.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	_, err := c.SubmitSeq(ctx, 1, []byte("op"))
+	cancel()
+	if err == nil {
+		t.Fatal("nanosecond deadline succeeded")
+	}
+	// Retry of the SAME seq succeeds; the recorder must show one ok op.
+	ctx, cancel = context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := c.SubmitSeq(ctx, 1, []byte("op")); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Len() != 1 {
+		t.Fatalf("retry created a second op: %d", rec.Len())
+	}
+	okN, infoN, _ := rec.Counts()
+	if okN != 1 || infoN != 0 {
+		t.Fatalf("merged op counts: ok=%d info=%d", okN, infoN)
 	}
 }

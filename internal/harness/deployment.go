@@ -224,26 +224,31 @@ func (p *storeProvisioner) close() {
 // --- composed -----------------------------------------------------------------
 
 type composedDep struct {
-	net    *transport.Network
-	stores *storeProvisioner
-	nodes  map[types.NodeID]*reconfig.Node
-	mu     sync.Mutex
-	order  []types.NodeID
-	rr     int
+	net     *transport.Network
+	stores  *storeProvisioner
+	factory statemachine.Factory
+	opts    reconfig.Options
+	nodes   map[types.NodeID]*reconfig.Node
+	byStore map[types.NodeID]storage.Store // each node's store, for crash-restart
+	mu      sync.Mutex
+	order   []types.NodeID
+	rr      int
 }
 
 func newComposed(t Tuning, factory statemachine.Factory, initial, spares []types.NodeID) (*composedDep, error) {
 	d := &composedDep{
-		net:    transport.NewNetwork(t.Net),
-		stores: newStoreProvisioner(t),
-		nodes:  make(map[types.NodeID]*reconfig.Node),
-		order:  types.CloneNodeIDs(initial),
+		net:     transport.NewNetwork(t.Net),
+		stores:  newStoreProvisioner(t),
+		factory: factory,
+		nodes:   make(map[types.NodeID]*reconfig.Node),
+		byStore: make(map[types.NodeID]storage.Store),
+		order:   types.CloneNodeIDs(initial),
 	}
 	cfg, err := types.NewConfig(1, initial)
 	if err != nil {
 		return nil, err
 	}
-	opts := reconfig.Options{
+	d.opts = reconfig.Options{
 		Paxos:              t.paxosOpts(),
 		RetryInterval:      t.Retry,
 		LingerOld:          500 * time.Millisecond,
@@ -257,12 +262,13 @@ func newComposed(t Tuning, factory statemachine.Factory, initial, spares []types
 		if err != nil {
 			return err
 		}
+		d.byStore[id] = st
 		n, err := reconfig.NewNode(reconfig.NodeConfig{
 			Self:     id,
 			Endpoint: d.net.Endpoint(id),
 			Store:    st,
 			Factory:  factory,
-			Opts:     opts,
+			Opts:     d.opts,
 		})
 		if err != nil {
 			return err
@@ -393,6 +399,58 @@ func (d *composedDep) Node(id types.NodeID) *reconfig.Node {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return d.nodes[id]
+}
+
+// CrashRestart stops a node like a killed process and reboots it over the
+// same store: durable state survives, volatile state is lost.
+func (d *composedDep) CrashRestart(id types.NodeID) error {
+	d.mu.Lock()
+	n := d.nodes[id]
+	st := d.byStore[id]
+	d.mu.Unlock()
+	if st == nil {
+		return fmt.Errorf("harness: unknown node %s", id)
+	}
+	if n != nil {
+		n.Stop()
+	}
+	ep := d.net.Endpoint(id)
+	ep.Resume()
+	n2, err := reconfig.NewNode(reconfig.NodeConfig{
+		Self:     id,
+		Endpoint: ep,
+		Store:    st,
+		Factory:  d.factory,
+		Opts:     d.opts,
+	})
+	if err != nil {
+		return err
+	}
+	if err := n2.Start(); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	d.nodes[id] = n2
+	d.mu.Unlock()
+	return nil
+}
+
+// Leader reports the leader hint of the first serving node ("" if none).
+func (d *composedDep) Leader() types.NodeID {
+	d.mu.Lock()
+	nodes := make([]*reconfig.Node, 0, len(d.nodes))
+	for _, n := range d.nodes {
+		nodes = append(nodes, n)
+	}
+	d.mu.Unlock()
+	for _, n := range nodes {
+		if n != nil && n.Serving() {
+			if lead := n.LeaderHint(); lead != "" {
+				return lead
+			}
+		}
+	}
+	return ""
 }
 
 // --- stop-the-world --------------------------------------------------------------

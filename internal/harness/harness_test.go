@@ -305,3 +305,28 @@ func TestRunDisruptionMedianSmoke(t *testing.T) {
 		t.Fatalf("%+v", res)
 	}
 }
+
+func TestRunLinSmoke(t *testing.T) {
+	res, err := RunLin(shortTuning(), 7, 1200*time.Millisecond, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Unknown {
+		t.Fatal("checker timed out on a smoke-sized history")
+	}
+	if !res.Linearizable {
+		t.Fatalf("linearizability violation (seed %d):\n%s", res.Seed, res.Counterexample)
+	}
+	if res.OkOps == 0 {
+		t.Fatal("no acknowledged ops; the run proved nothing")
+	}
+	if res.Faults.Total() == 0 {
+		t.Fatal("no faults injected")
+	}
+	out := res.Render()
+	for _, want := range []string{"LIN:", "seed 7", "LINEARIZABLE"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,192 @@
+// Package history records concurrent client operation histories — the raw
+// material for linearizability checking. A Recorder captures, for every
+// client operation, the invocation time, the completion time and the
+// observed output, using a single monotonic clock so the real-time ordering
+// between operations of different clients is meaningful.
+//
+// Outcomes follow the Jepsen convention:
+//
+//   - Ok:   the operation completed and its output was observed;
+//   - Fail: the operation certainly did NOT execute (it never reached the
+//     service); it is excluded from checking;
+//   - Info: the outcome is ambiguous (a timeout after the command may have
+//     been sent) — the operation may or may not have taken effect, at any
+//     time after its invocation.
+//
+// Retries of the same (client, seq) pair are merged into a single logical
+// operation: the session layer guarantees at-most-once execution, so an
+// ambiguous attempt that is later retried and acknowledged is one operation
+// spanning first invocation to final acknowledgment. Without this merge a
+// checker would demand that a timed-out-then-retried increment applied
+// twice.
+package history
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/types"
+)
+
+// Outcome classifies how an operation ended. Values start at 1; the zero
+// value means the operation is still pending.
+type Outcome uint8
+
+const (
+	// OutcomePending means invoked with no outcome recorded yet.
+	OutcomePending Outcome = 0
+	// OutcomeOk means completed with an observed output.
+	OutcomeOk Outcome = 1
+	// OutcomeFail means the operation certainly never executed.
+	OutcomeFail Outcome = 2
+	// OutcomeInfo means the outcome is ambiguous (may have executed).
+	OutcomeInfo Outcome = 3
+)
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomePending:
+		return "pending"
+	case OutcomeOk:
+		return "ok"
+	case OutcomeFail:
+		return "fail"
+	case OutcomeInfo:
+		return "info"
+	default:
+		return "outcome(?)"
+	}
+}
+
+// Op is one recorded client operation.
+type Op struct {
+	Client  types.NodeID
+	Seq     uint64
+	Input   []byte // the encoded state-machine operation
+	Output  []byte // the reply (OutcomeOk only)
+	Call    int64  // ns since the recorder's epoch, monotonic
+	Return  int64  // ns since epoch; 0 while pending
+	Outcome Outcome
+}
+
+type opKey struct {
+	client types.NodeID
+	seq    uint64
+}
+
+// Recorder is a concurrent operation-history recorder. All methods are safe
+// for concurrent use; Invoke/Ok/Fail/Info are O(1).
+type Recorder struct {
+	epoch time.Time
+
+	mu   sync.Mutex
+	ops  []Op
+	open map[opKey]int // latest op index per (client, seq), for retry merging
+	oks  int
+	infs int
+	fls  int
+}
+
+// New creates an empty recorder; its epoch is now.
+func New() *Recorder {
+	return &Recorder{epoch: time.Now(), open: make(map[opKey]int)}
+}
+
+func (r *Recorder) now() int64 { return time.Since(r.epoch).Nanoseconds() }
+
+// Invoke records the start of an operation and returns its handle. If the
+// same (client, seq) was previously recorded with an ambiguous outcome, that
+// operation is reopened (the retry is the same logical operation under
+// at-most-once semantics) and its original invocation time is kept.
+func (r *Recorder) Invoke(client types.NodeID, seq uint64, input []byte) int {
+	now := r.now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	key := opKey{client: client, seq: seq}
+	if idx, ok := r.open[key]; ok {
+		switch r.ops[idx].Outcome {
+		case OutcomePending:
+			return idx // concurrent double-invoke; treat as the same op
+		case OutcomeInfo:
+			r.infs--
+			r.ops[idx].Outcome = OutcomePending
+			r.ops[idx].Return = 0
+			return idx
+		}
+	}
+	r.ops = append(r.ops, Op{Client: client, Seq: seq, Input: input, Call: now})
+	idx := len(r.ops) - 1
+	r.open[key] = idx
+	return idx
+}
+
+// Ok completes the operation with its observed output.
+func (r *Recorder) Ok(h int, output []byte) { r.finish(h, OutcomeOk, output) }
+
+// Fail completes the operation as certainly-not-executed.
+func (r *Recorder) Fail(h int) { r.finish(h, OutcomeFail, nil) }
+
+// Info completes the operation as ambiguous: it may or may not have
+// executed, now or at any later time.
+func (r *Recorder) Info(h int) { r.finish(h, OutcomeInfo, nil) }
+
+func (r *Recorder) finish(h int, out Outcome, output []byte) {
+	now := r.now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h < 0 || h >= len(r.ops) || r.ops[h].Outcome != OutcomePending {
+		return // unknown handle or already finished; keep the first verdict
+	}
+	r.ops[h].Outcome = out
+	r.ops[h].Return = now
+	r.ops[h].Output = output
+	switch out {
+	case OutcomeOk:
+		r.oks++
+	case OutcomeInfo:
+		r.infs++
+	case OutcomeFail:
+		r.fls++
+	}
+}
+
+// Drain marks every still-pending operation as ambiguous. Call it after the
+// load has stopped, before reading the history: a client stopped mid-flight
+// leaves an operation that may still take effect.
+func (r *Recorder) Drain() {
+	now := r.now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := range r.ops {
+		if r.ops[i].Outcome == OutcomePending {
+			r.ops[i].Outcome = OutcomeInfo
+			r.ops[i].Return = now
+			r.infs++
+		}
+	}
+}
+
+// Ops returns a snapshot of all recorded operations in invocation order.
+func (r *Recorder) Ops() []Op {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Op, len(r.ops))
+	copy(out, r.ops)
+	return out
+}
+
+// Len returns the number of recorded operations.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.ops)
+}
+
+// Counts returns (ok, info, fail) totals. Pending operations are in none of
+// the three buckets.
+func (r *Recorder) Counts() (ok, info, fail int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.oks, r.infs, r.fls
+}

@@ -1,0 +1,158 @@
+package history
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/types"
+)
+
+func TestRecorderBasicLifecycle(t *testing.T) {
+	r := New()
+	h1 := r.Invoke("c1", 1, []byte("op1"))
+	h2 := r.Invoke("c2", 1, []byte("op2"))
+	h3 := r.Invoke("c1", 2, []byte("op3"))
+	r.Ok(h1, []byte("reply1"))
+	r.Fail(h2)
+	r.Info(h3)
+
+	ops := r.Ops()
+	if len(ops) != 3 {
+		t.Fatalf("want 3 ops, got %d", len(ops))
+	}
+	okN, infoN, failN := r.Counts()
+	if okN != 1 || infoN != 1 || failN != 1 {
+		t.Fatalf("counts ok=%d info=%d fail=%d", okN, infoN, failN)
+	}
+	if ops[0].Outcome != OutcomeOk || string(ops[0].Output) != "reply1" {
+		t.Fatalf("op0: %+v", ops[0])
+	}
+	if ops[0].Return < ops[0].Call {
+		t.Fatalf("completed op must have Return >= Call: %+v", ops[0])
+	}
+	if ops[1].Outcome != OutcomeFail {
+		t.Fatalf("op1: %+v", ops[1])
+	}
+	if ops[2].Outcome != OutcomeInfo {
+		t.Fatalf("op2: %+v", ops[2])
+	}
+}
+
+// A retry of the same (client, seq) after an ambiguous outcome is the SAME
+// logical op (session dedup applies it at most once), so Invoke must reopen
+// the existing record — keeping the original call time — rather than append.
+func TestRecorderMergesRetries(t *testing.T) {
+	r := New()
+	h := r.Invoke("c1", 7, []byte("op"))
+	r.Info(h)
+	h2 := r.Invoke("c1", 7, []byte("op"))
+	if h2 != h {
+		t.Fatalf("retry got new handle %d, want reopened %d", h2, h)
+	}
+	r.Ok(h2, []byte("done"))
+
+	ops := r.Ops()
+	if len(ops) != 1 {
+		t.Fatalf("retries must merge into one op, got %d", len(ops))
+	}
+	if ops[0].Outcome != OutcomeOk {
+		t.Fatalf("merged op: %+v", ops[0])
+	}
+	okN, infoN, _ := r.Counts()
+	if okN != 1 || infoN != 0 {
+		t.Fatalf("counts after merge: ok=%d info=%d", okN, infoN)
+	}
+}
+
+func TestRecorderInvokeWhilePendingReturnsSameHandle(t *testing.T) {
+	r := New()
+	h := r.Invoke("c1", 1, []byte("op"))
+	if again := r.Invoke("c1", 1, []byte("op")); again != h {
+		t.Fatalf("pending re-invoke: got %d want %d", again, h)
+	}
+	if r.Len() != 1 {
+		t.Fatalf("want 1 op, got %d", r.Len())
+	}
+}
+
+func TestRecorderDrainMarksPendingAsInfo(t *testing.T) {
+	r := New()
+	h1 := r.Invoke("c1", 1, []byte("a"))
+	r.Invoke("c2", 1, []byte("b")) // left pending
+	r.Ok(h1, nil)
+	r.Drain()
+	okN, infoN, failN := r.Counts()
+	if okN != 1 || infoN != 1 || failN != 0 {
+		t.Fatalf("counts after drain: ok=%d info=%d fail=%d", okN, infoN, failN)
+	}
+	for _, op := range r.Ops() {
+		if op.Outcome == OutcomePending {
+			t.Fatalf("pending op survived Drain: %+v", op)
+		}
+	}
+}
+
+func TestRecorderDoubleFinishIgnored(t *testing.T) {
+	r := New()
+	h := r.Invoke("c1", 1, []byte("a"))
+	r.Ok(h, []byte("x"))
+	r.Fail(h) // late duplicate completion must not clobber the outcome
+	r.Info(h)
+	ops := r.Ops()
+	if ops[0].Outcome != OutcomeOk || string(ops[0].Output) != "x" {
+		t.Fatalf("outcome clobbered: %+v", ops[0])
+	}
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	const clients, opsPer = 8, 200
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			id := types.NodeID(string(rune('a' + c)))
+			for seq := uint64(1); seq <= opsPer; seq++ {
+				h := r.Invoke(id, seq, []byte{byte(seq)})
+				switch seq % 3 {
+				case 0:
+					r.Ok(h, []byte{1})
+				case 1:
+					r.Fail(h)
+				default:
+					r.Info(h)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	if r.Len() != clients*opsPer {
+		t.Fatalf("want %d ops, got %d", clients*opsPer, r.Len())
+	}
+	okN, infoN, failN := r.Counts()
+	if okN+infoN+failN != clients*opsPer {
+		t.Fatalf("counts don't sum: %d+%d+%d", okN, infoN, failN)
+	}
+	// Timestamps must be monotone per the recorder's clock: every op's
+	// Call is set before its Return.
+	for _, op := range r.Ops() {
+		if op.Outcome == OutcomeOk && op.Return < op.Call {
+			t.Fatalf("non-monotonic op: %+v", op)
+		}
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	for o, want := range map[Outcome]string{
+		OutcomePending: "pending",
+		OutcomeOk:      "ok",
+		OutcomeFail:    "fail",
+		OutcomeInfo:    "info",
+		Outcome(99):    "outcome(?)",
+	} {
+		if got := o.String(); got != want {
+			t.Errorf("Outcome(%d).String() = %q, want %q", o, got, want)
+		}
+	}
+}

@@ -1,0 +1,191 @@
+package nemesis
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/types"
+)
+
+func pool(n int) []types.NodeID {
+	out := make([]types.NodeID, n)
+	for i := range out {
+		out[i] = types.NodeID(fmt.Sprintf("n%d", i+1))
+	}
+	return out
+}
+
+func fastProfile(p Profile) Profile {
+	p.Hold = time.Millisecond
+	p.Settle = time.Millisecond
+	return p
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := Profile{Pool: pool(5), Steps: 40}
+	a := Generate(9, p)
+	b := Generate(9, p)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different schedules")
+	}
+	c := Generate(10, p)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical 40-step schedules")
+	}
+}
+
+func TestGenerateRespectsProfile(t *testing.T) {
+	nodes := pool(5)
+	inPool := make(map[types.NodeID]bool, len(nodes))
+	for _, id := range nodes {
+		inPool[id] = true
+	}
+	p := Profile{Pool: nodes, Steps: 200, MinMembers: 3, MaxMembers: 4}
+	for i, st := range Generate(3, p) {
+		switch st.Kind {
+		case KindPartition:
+			if len(st.Sides) != 2 || len(st.Sides[0]) == 0 || len(st.Sides[1]) == 0 {
+				t.Fatalf("step %d: degenerate partition %v", i, st.Sides)
+			}
+			if len(st.Sides[0])+len(st.Sides[1]) != len(nodes) {
+				t.Fatalf("step %d: partition doesn't cover pool: %v", i, st.Sides)
+			}
+		case KindIsolate, KindCrashRestart:
+			if !inPool[st.Target] {
+				t.Fatalf("step %d: target %q not in pool", i, st.Target)
+			}
+		case KindReconfigure:
+			if len(st.Members) < 3 || len(st.Members) > 4 {
+				t.Fatalf("step %d: member count %d outside [3,4]", i, len(st.Members))
+			}
+			seen := make(map[types.NodeID]bool)
+			for _, m := range st.Members {
+				if !inPool[m] || seen[m] {
+					t.Fatalf("step %d: bad members %v", i, st.Members)
+				}
+				seen[m] = true
+			}
+		}
+	}
+}
+
+func TestGenerateKindFilter(t *testing.T) {
+	p := Profile{Pool: pool(4), Steps: 50, Kinds: []Kind{KindPartition, KindIsolate}}
+	for i, st := range Generate(7, p) {
+		if st.Kind != KindPartition && st.Kind != KindIsolate {
+			t.Fatalf("step %d: kind %s not in the enabled mix", i, st.Kind)
+		}
+	}
+}
+
+// fakeCluster records the call sequence so Execute's heal-after-fault
+// discipline is observable.
+type fakeCluster struct {
+	calls      []string
+	leader     types.NodeID
+	crashErr   error
+	reconfErr  error
+	reconfSeen [][]types.NodeID
+}
+
+func (f *fakeCluster) Partition(sides ...[]types.NodeID) { f.calls = append(f.calls, "partition") }
+func (f *fakeCluster) Isolate(id types.NodeID)           { f.calls = append(f.calls, "isolate:"+string(id)) }
+func (f *fakeCluster) Heal()                             { f.calls = append(f.calls, "heal") }
+func (f *fakeCluster) CrashRestart(ctx context.Context, id types.NodeID) error {
+	f.calls = append(f.calls, "crash:"+string(id))
+	return f.crashErr
+}
+func (f *fakeCluster) Reconfigure(ctx context.Context, members []types.NodeID) error {
+	f.calls = append(f.calls, "reconfigure")
+	f.reconfSeen = append(f.reconfSeen, members)
+	return f.reconfErr
+}
+func (f *fakeCluster) Leader() types.NodeID { return f.leader }
+
+func TestExecuteCountsAndHeals(t *testing.T) {
+	fc := &fakeCluster{leader: "n2"}
+	steps := []Step{
+		{Kind: KindPartition, Sides: [][]types.NodeID{{"n1"}, {"n2", "n3"}}},
+		{Kind: KindIsolate, Target: "n3"},
+		{Kind: KindCrashRestart, Target: "n1"},
+		{Kind: KindLeaderKill},
+		{Kind: KindReconfigure, Members: pool(3)},
+	}
+	st := Execute(context.Background(), fc, steps)
+	want := Stats{Partitions: 1, Isolations: 1, Crashes: 2, LeaderKills: 1, Reconfigs: 1}
+	if st != want {
+		t.Fatalf("stats = %+v, want %+v", st, want)
+	}
+	if st.Total() != 5 {
+		t.Fatalf("total = %d, want 5", st.Total())
+	}
+	wantCalls := []string{
+		"partition", "heal",
+		"isolate:n3", "heal",
+		"crash:n1",
+		"crash:n2", // leader kill resolved n2
+		"reconfigure",
+	}
+	if !reflect.DeepEqual(fc.calls, wantCalls) {
+		t.Fatalf("calls = %v, want %v", fc.calls, wantCalls)
+	}
+}
+
+func TestExecuteCountsFailures(t *testing.T) {
+	fc := &fakeCluster{crashErr: context.DeadlineExceeded, reconfErr: context.DeadlineExceeded}
+	steps := []Step{
+		{Kind: KindCrashRestart, Target: "n1"},
+		{Kind: KindReconfigure, Members: pool(3)},
+		{Kind: KindLeaderKill}, // leader unknown ("") -> failed, no crash call
+	}
+	st := Execute(context.Background(), fc, steps)
+	if st.Failed != 3 || st.Total() != 0 {
+		t.Fatalf("stats = %+v, want 3 failures and 0 faults", st)
+	}
+}
+
+func TestExecuteStopsOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	fc := &fakeCluster{}
+	steps := Generate(1, fastProfile(Profile{Pool: pool(3), Steps: 100}))
+	st := Execute(ctx, fc, steps)
+	if got := st.Total() + st.Failed; got > 1 {
+		t.Fatalf("cancelled execute still ran %d steps", got)
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	s := Stats{Partitions: 1, Crashes: 2, LeaderKills: 1, Reconfigs: 3, Failed: 1}
+	got := s.String()
+	for _, want := range []string{"partitions=1", "crashes=2", "leader-kills=1", "reconfigs=3", "failed=1"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("Stats.String() = %q missing %q", got, want)
+		}
+	}
+	if strings.Contains(Stats{}.String(), "failed") {
+		t.Fatalf("zero stats should omit failed: %q", Stats{}.String())
+	}
+}
+
+func TestStepAndKindStrings(t *testing.T) {
+	steps := []Step{
+		{Kind: KindPartition, Sides: [][]types.NodeID{{"a"}, {"b"}}, Hold: time.Millisecond},
+		{Kind: KindIsolate, Target: "a", Hold: time.Millisecond},
+		{Kind: KindCrashRestart, Target: "b", Hold: time.Millisecond},
+		{Kind: KindReconfigure, Members: []types.NodeID{"a", "b"}},
+		{Kind: KindLeaderKill, Hold: time.Millisecond},
+	}
+	for _, st := range steps {
+		if st.String() == "" || st.Kind.String() == "" {
+			t.Fatalf("empty rendering for %v", st.Kind)
+		}
+	}
+	if Kind(42).String() != "kind(42)" {
+		t.Fatalf("unknown kind rendering: %q", Kind(42).String())
+	}
+}

@@ -12,10 +12,28 @@ import (
 	"repro/internal/types"
 )
 
+// cleanNet is the benign network the baseline conformance runs use.
+var cleanNet = transport.Options{
+	BaseLatency: 100 * time.Microsecond,
+	Jitter:      100 * time.Microsecond,
+	Seed:        2,
+}
+
+// adversarialNet degrades every link: 3% loss, 2% duplication and heavy
+// jitter. The conformance contract must hold unchanged — message loss may
+// slow agreement down but must never break safety or dedup.
+var adversarialNet = transport.Options{
+	BaseLatency: 100 * time.Microsecond,
+	Jitter:      500 * time.Microsecond,
+	LossRate:    0.03,
+	DupRate:     0.02,
+	Seed:        2,
+}
+
 // TestPaxosConformance runs the shared smr.Engine conformance suite against
 // the static Paxos engine on the in-memory store.
 func TestPaxosConformance(t *testing.T) {
-	smrtest.Run(t, factoryWithStore(func(t *testing.T, id types.NodeID) storage.Store {
+	smrtest.Run(t, factoryWithStore(cleanNet, func(t *testing.T, id types.NodeID) storage.Store {
 		return storage.NewMem()
 	}))
 }
@@ -24,7 +42,7 @@ func TestPaxosConformance(t *testing.T) {
 // through the group-commit WAL store in synchronous mode, proving the WAL
 // backend satisfies the acceptor durability contract end to end.
 func TestPaxosConformanceWAL(t *testing.T) {
-	smrtest.Run(t, factoryWithStore(func(t *testing.T, id types.NodeID) storage.Store {
+	smrtest.Run(t, factoryWithStore(cleanNet, func(t *testing.T, id types.NodeID) storage.Store {
 		s, err := storage.OpenWALStore(t.TempDir(), storage.WALStoreOptions{SyncWrites: true})
 		if err != nil {
 			t.Fatal(err)
@@ -34,13 +52,17 @@ func TestPaxosConformanceWAL(t *testing.T) {
 	}))
 }
 
-func factoryWithStore(newStore func(t *testing.T, id types.NodeID) storage.Store) func(*testing.T, []types.NodeID) smrtest.Cluster {
+// TestPaxosConformanceAdversarial reruns the suite over a lossy, jittery,
+// duplicating network.
+func TestPaxosConformanceAdversarial(t *testing.T) {
+	smrtest.Run(t, factoryWithStore(adversarialNet, func(t *testing.T, id types.NodeID) storage.Store {
+		return storage.NewMem()
+	}))
+}
+
+func factoryWithStore(netOpts transport.Options, newStore func(t *testing.T, id types.NodeID) storage.Store) func(*testing.T, []types.NodeID) smrtest.Cluster {
 	return func(t *testing.T, members []types.NodeID) smrtest.Cluster {
-		net := transport.NewNetwork(transport.Options{
-			BaseLatency: 100 * time.Microsecond,
-			Jitter:      100 * time.Microsecond,
-			Seed:        2,
-		})
+		net := transport.NewNetwork(netOpts)
 		cfg := types.MustConfig(1, members...)
 		engines := make(map[types.NodeID]smr.Engine, len(members))
 		for _, id := range members {

@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"os"
+	"strconv"
 	"sync"
 	"testing"
 	"time"
@@ -12,6 +14,23 @@ import (
 	"repro/internal/transport"
 	"repro/internal/types"
 )
+
+// chaosSeed returns the seed for a randomized chaos/linearizability run: the
+// CHAOS_SEED environment variable overrides the built-in default, so any CI
+// failure replays locally byte-for-byte. The chosen seed is always logged.
+func chaosSeed(t *testing.T, def int64) int64 {
+	t.Helper()
+	seed := def
+	if s := os.Getenv("CHAOS_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("bad CHAOS_SEED %q: %v", s, err)
+		}
+		seed = v
+	}
+	t.Logf("seed %d (rerun with CHAOS_SEED=%d)", seed, seed)
+	return seed
+}
 
 // TestChaosReconfiguration drives the composed system through randomized
 // reconfigurations, node crashes/restarts and transient isolations while
@@ -25,11 +44,12 @@ func TestChaosReconfiguration(t *testing.T) {
 	if testing.Short() {
 		t.Skip("chaos test in -short mode")
 	}
+	seed := chaosSeed(t, 77)
 	w := newWorld(t, transport.Options{
 		BaseLatency: 100 * time.Microsecond,
 		Jitter:      200 * time.Microsecond,
 		LossRate:    0.02,
-		Seed:        77,
+		Seed:        seed,
 	})
 	pool := []types.NodeID{"n1", "n2", "n3", "n4", "n5", "n6", "n7"}
 	w.bootstrap(statemachine.NewBankMachine, pool[0], pool[1], pool[2])
@@ -55,7 +75,7 @@ func TestChaosReconfiguration(t *testing.T) {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
-			rng := rand.New(rand.NewSource(int64(g) + 100))
+			rng := rand.New(rand.NewSource(seed + int64(g) + 100))
 			client := types.NodeID(fmt.Sprintf("chaos-t%d", g))
 			seq := uint64(1)
 			op := statemachine.EncodeTransfer(accounts[g%3], accounts[(g+1)%3], 1)
@@ -102,7 +122,7 @@ func TestChaosReconfiguration(t *testing.T) {
 		return false
 	}
 
-	rng := rand.New(rand.NewSource(4242))
+	rng := rand.New(rand.NewSource(seed + 4242))
 	alive := make(map[types.NodeID]bool, len(pool))
 	for _, id := range pool {
 		alive[id] = true

@@ -1,0 +1,159 @@
+package reconfig
+
+import (
+	"testing"
+
+	"repro/internal/types"
+)
+
+// Fuzz targets for the control-plane wire codecs (wire.go / ctrl.go):
+// arbitrary bytes from the network must never panic a node and must either
+// fail cleanly or decode to a value that re-encodes consistently. `go test`
+// runs the seed corpus; `go test -fuzz=FuzzDecodeSubmitResult
+// ./internal/reconfig` explores further.
+
+func FuzzDecodeSubmitResult(f *testing.F) {
+	f.Add(EncodeSubmitResult(SubmitResult{
+		Status: SubmitApplied,
+		Reply:  []byte("reply"),
+		Config: types.MustConfig(3, "a", "b", "c"),
+		Leader: "a",
+	}))
+	f.Add(EncodeSubmitResult(SubmitResult{Status: SubmitRedirect}))
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		res, err := DecodeSubmitResult(data)
+		if err != nil {
+			return
+		}
+		again, err := DecodeSubmitResult(EncodeSubmitResult(res))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if again.Status != res.Status || string(again.Reply) != string(res.Reply) ||
+			!again.Config.Equal(res.Config) || again.Leader != res.Leader {
+			t.Fatalf("round trip changed: %+v -> %+v", res, again)
+		}
+	})
+}
+
+func FuzzDecodeLocateResult(f *testing.F) {
+	f.Add(encodeLocateReply(locateReply{
+		Config: types.MustConfig(2, "x", "y"),
+		Wedged: true,
+		Leader: "y",
+	}))
+	f.Add([]byte{})
+	f.Add([]byte{byte(opLocateReply)})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		res, err := DecodeLocateResult(data)
+		if err != nil {
+			return
+		}
+		again, err := decodeLocateReply(encodeLocateReply(locateReply{
+			Config: res.Config, Wedged: res.Wedged, Leader: res.Leader,
+		}))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !again.Config.Equal(res.Config) || again.Wedged != res.Wedged || again.Leader != res.Leader {
+			t.Fatalf("round trip changed: %+v -> %+v", res, again)
+		}
+	})
+}
+
+func FuzzDecodeReconfigResult(f *testing.F) {
+	f.Add(encodeReconfigReply(reconfigReply{
+		OK:     true,
+		Config: types.MustConfig(4, "a", "b", "c", "d"),
+	}))
+	f.Add(encodeReconfigReply(reconfigReply{Detail: "not serving"}))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		res, err := DecodeReconfigResult(data)
+		if err != nil {
+			return
+		}
+		again, err := decodeReconfigReply(encodeReconfigReply(reconfigReply{
+			OK: res.OK, Detail: res.Detail, Config: res.Config,
+		}))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if again.OK != res.OK || again.Detail != res.Detail || !again.Config.Equal(res.Config) {
+			t.Fatalf("round trip changed: %+v -> %+v", res, again)
+		}
+	})
+}
+
+func FuzzDecodeChainResult(f *testing.F) {
+	f.Add(encodeChainReply(chainReply{
+		Initial: types.MustConfig(1, "a"),
+		Records: []ChainRecord{
+			{From: 1, WedgeSlot: 12, To: types.MustConfig(2, "a", "b")},
+			{From: 2, WedgeSlot: 99, To: types.MustConfig(3, "b", "c")},
+		},
+	}))
+	f.Add([]byte{})
+	f.Add([]byte{byte(opChainReply), 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		res, err := DecodeChainResult(data)
+		if err != nil {
+			return
+		}
+		again, err := decodeChainReply(encodeChainReply(chainReply{
+			Initial: res.Initial, Records: res.Records,
+		}))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if len(again.Records) != len(res.Records) {
+			t.Fatalf("round trip changed record count: %d -> %d", len(res.Records), len(again.Records))
+		}
+		for i := range again.Records {
+			if !again.Records[i].Equal(res.Records[i]) {
+				t.Fatalf("round trip changed record %d", i)
+			}
+		}
+	})
+}
+
+func FuzzDecodeChainRecord(f *testing.F) {
+	f.Add(encodeChainRecord(ChainRecord{From: 7, WedgeSlot: 42, To: types.MustConfig(8, "p", "q", "r")}))
+	f.Add([]byte{})
+	f.Add([]byte{0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, err := decodeChainRecord(data)
+		if err != nil {
+			return
+		}
+		again, err := decodeChainRecord(encodeChainRecord(rec))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !again.Equal(rec) {
+			t.Fatalf("round trip changed: %+v -> %+v", rec, again)
+		}
+	})
+}
+
+func FuzzDecodeXferReply(f *testing.F) {
+	f.Add(encodeXferReply(xferReply{Found: true, Snapshot: []byte("snap"), Config: types.MustConfig(2, "a", "b")}))
+	f.Add(encodeXferReply(xferReply{}))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rep, err := decodeXferReply(data)
+		if err != nil {
+			return
+		}
+		again, err := decodeXferReply(encodeXferReply(rep))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if again.Found != rep.Found || string(again.Snapshot) != string(rep.Snapshot) ||
+			!again.Config.Equal(rep.Config) {
+			t.Fatalf("round trip changed: %+v -> %+v", rep, again)
+		}
+	})
+}

@@ -1,0 +1,394 @@
+package reconfig
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/history"
+	"repro/internal/lincheck"
+	"repro/internal/nemesis"
+	"repro/internal/statemachine"
+	"repro/internal/storage"
+	"repro/internal/transport"
+	"repro/internal/types"
+)
+
+// This file is the end-to-end linearizability suite: concurrent clients
+// drive a 5-node cluster through a deterministic nemesis schedule while a
+// history recorder captures every operation (including ambiguous timeouts);
+// afterwards the lincheck WGL checker decides the history against the
+// machine's sequential model. Any failure prints the seed for byte-for-byte
+// replay (CHAOS_SEED overrides it).
+
+// crashRestart stops a node like a killed process and restarts it over the
+// same store. Worlds with a newStore factory (durable backends) close and
+// reopen the store from its directory — a true recovery; in-memory worlds
+// keep the store object, modeling a crash with surviving durable state.
+func (w *world) crashRestart(id types.NodeID, factory statemachine.Factory) *Node {
+	w.t.Helper()
+	if n := w.node(id); n != nil {
+		n.Stop()
+		w.mu.Lock()
+		delete(w.nodes, id)
+		w.mu.Unlock()
+		w.net.Endpoint(id).Resume()
+	}
+	if w.newStore != nil {
+		w.dropStore(id)
+	}
+	n := w.startNode(id, factory)
+	if err := n.Start(); err != nil {
+		w.t.Fatal(err)
+	}
+	return n
+}
+
+// linCluster adapts a test world to the nemesis.Cluster fault surface.
+type linCluster struct {
+	w       *world
+	pool    []types.NodeID
+	factory statemachine.Factory
+}
+
+func (c *linCluster) Partition(sides ...[]types.NodeID) { c.w.net.Partition(sides...) }
+func (c *linCluster) Isolate(id types.NodeID)           { c.w.net.Isolate(id) }
+func (c *linCluster) Heal()                             { c.w.net.HealAll() }
+
+func (c *linCluster) CrashRestart(ctx context.Context, id types.NodeID) error {
+	c.w.crashRestart(id, c.factory)
+	return nil
+}
+
+func (c *linCluster) Reconfigure(ctx context.Context, members []types.NodeID) error {
+	var lastErr error = ErrNotServing
+	for _, id := range c.pool {
+		node := c.w.node(id)
+		if node == nil || !node.Serving() {
+			continue
+		}
+		attempt, cancel := context.WithTimeout(ctx, 8*time.Second)
+		_, err := node.Reconfigure(attempt, members)
+		cancel()
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+	}
+	return lastErr
+}
+
+func (c *linCluster) Leader() types.NodeID {
+	for _, id := range c.pool {
+		node := c.w.node(id)
+		if node == nil || !node.Serving() {
+			continue
+		}
+		if lead := node.LeaderHint(); lead != "" {
+			return lead
+		}
+	}
+	return ""
+}
+
+// linWorkload pairs a machine with its sequential model and an op generator.
+type linWorkload struct {
+	name    string
+	factory statemachine.Factory
+	model   func() lincheck.Model
+	setup   [][]byte // admin ops applied before load starts
+	genOp   func(rng *rand.Rand) []byte
+}
+
+func kvWorkload() linWorkload {
+	vals := make([][]byte, 6)
+	for i := range vals {
+		vals[i] = []byte(fmt.Sprintf("v%d", i))
+	}
+	return linWorkload{
+		name:    "kv",
+		factory: statemachine.NewKVMachine,
+		model:   lincheck.RegisterModel,
+		genOp: func(rng *rand.Rand) []byte {
+			key := fmt.Sprintf("k%d", rng.Intn(8))
+			switch rng.Intn(10) {
+			case 0, 1, 2:
+				return statemachine.EncodePut(key, vals[rng.Intn(len(vals))])
+			case 3, 4, 5:
+				return statemachine.EncodeGet(key)
+			case 6:
+				return statemachine.EncodeDelete(key)
+			case 7, 8:
+				return statemachine.EncodeAppend(key, []byte{byte('a' + rng.Intn(4))})
+			default:
+				return statemachine.EncodeCAS(key, vals[rng.Intn(len(vals))], vals[rng.Intn(len(vals))])
+			}
+		},
+	}
+}
+
+func counterWorkload() linWorkload {
+	return linWorkload{
+		name:    "counter",
+		factory: statemachine.NewCounterMachine,
+		model:   lincheck.CounterModel,
+		genOp: func(rng *rand.Rand) []byte {
+			switch rng.Intn(4) {
+			case 0:
+				return statemachine.EncodeCounterGet()
+			default:
+				return statemachine.EncodeAdd(uint64(1 + rng.Intn(3)))
+			}
+		},
+	}
+}
+
+func bankWorkload() linWorkload {
+	accounts := []string{"a", "b", "c"}
+	return linWorkload{
+		name:    "bank",
+		factory: statemachine.NewBankMachine,
+		model:   lincheck.BankModel,
+		setup: [][]byte{
+			statemachine.EncodeOpen("a", 100),
+			statemachine.EncodeOpen("b", 100),
+			statemachine.EncodeOpen("c", 100),
+		},
+		genOp: func(rng *rand.Rand) []byte {
+			switch rng.Intn(6) {
+			case 0:
+				return statemachine.EncodeBalance(accounts[rng.Intn(3)])
+			case 1:
+				return statemachine.EncodeTotal()
+			case 2:
+				return statemachine.EncodeDeposit(accounts[rng.Intn(3)], uint64(1+rng.Intn(3)))
+			default:
+				return statemachine.EncodeTransfer(accounts[rng.Intn(3)], accounts[rng.Intn(3)], uint64(1+rng.Intn(4)))
+			}
+		},
+	}
+}
+
+// linRun parameterizes one workload × nemesis × seed cell.
+type linRun struct {
+	workload     linWorkload
+	kinds        []nemesis.Kind
+	seed         int64
+	clients      int
+	steps        int // nemesis schedule length
+	minOk        int // keep loading until this many acked ops (0 = schedule only)
+	minReconfigs int // drive extra reconfigurations until this count
+	useWAL       bool
+	checkBudget  time.Duration
+}
+
+func runLin(t *testing.T, run linRun) {
+	seed := chaosSeed(t, run.seed)
+	w := newWorld(t, transport.Options{
+		BaseLatency: 100 * time.Microsecond,
+		Jitter:      200 * time.Microsecond,
+		LossRate:    0.01,
+		Seed:        seed,
+	})
+	if run.useWAL {
+		dir := t.TempDir()
+		w.newStore = func(id types.NodeID) storage.Store {
+			st, err := storage.OpenWALStore(filepath.Join(dir, string(id)), storage.WALStoreOptions{})
+			if err != nil {
+				t.Fatalf("open wal store for %s: %v", id, err)
+			}
+			return st
+		}
+	}
+	pool := []types.NodeID{"n1", "n2", "n3", "n4", "n5"}
+	w.bootstrap(run.workload.factory, pool[0], pool[1], pool[2])
+	w.waitServing(pool[0], pool[1], pool[2])
+	for _, id := range pool[3:] {
+		n := w.startNode(id, run.workload.factory)
+		if err := n.Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Setup ops go through the recorder too: the checker starts from the
+	// model's empty initial state, so account creation must be part of the
+	// history it linearizes.
+	rec := history.New()
+	for i, op := range run.workload.setup {
+		h := rec.Invoke("admin", uint64(i+1), op)
+		rec.Ok(h, w.submit("n1", "admin", uint64(i+1), op))
+	}
+
+	// Clients: each retries its current (client, seq) until acknowledged —
+	// the recorder keeps the whole retry span as one pending operation, so
+	// an op applied during a timeout window is still checkable.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < run.clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed*997 + int64(g)))
+			client := types.NodeID(fmt.Sprintf("lc%d", g))
+			seq := uint64(1)
+			op := run.workload.genOp(rng)
+			h := rec.Invoke(client, seq, op)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				node := w.node(pool[rng.Intn(len(pool))])
+				if node == nil || !node.Serving() {
+					time.Sleep(2 * time.Millisecond)
+					continue
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), 250*time.Millisecond)
+				reply, err := node.Submit(ctx, client, seq, op)
+				cancel()
+				if err != nil {
+					continue // retry same seq; at-most-once makes this safe
+				}
+				rec.Ok(h, reply)
+				seq++
+				op = run.workload.genOp(rng)
+				h = rec.Invoke(client, seq, op)
+			}
+		}(g)
+	}
+
+	cluster := &linCluster{w: w, pool: pool, factory: run.workload.factory}
+	schedule := nemesis.Generate(seed, nemesis.Profile{
+		Pool:  pool,
+		Steps: run.steps,
+		Kinds: run.kinds,
+	})
+	for _, step := range schedule {
+		t.Logf("nemesis: %s", step)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 90*time.Second)
+	defer cancel()
+	stats := nemesis.Execute(ctx, cluster, schedule)
+
+	// Guarantee the reconfiguration floor regardless of what the random
+	// schedule drew.
+	rotations := [][]types.NodeID{pool[:3], pool[:5], pool[1:5], pool[:4]}
+	for i := 0; stats.Reconfigs < run.minReconfigs && i < 20; i++ {
+		if err := cluster.Reconfigure(ctx, rotations[i%len(rotations)]); err == nil {
+			stats.Reconfigs++
+		} else {
+			time.Sleep(100 * time.Millisecond)
+		}
+	}
+	if stats.Reconfigs < run.minReconfigs {
+		t.Fatalf("only %d reconfigurations (need %d); seed %d", stats.Reconfigs, run.minReconfigs, seed)
+	}
+
+	// Keep the load running until the op floor is met.
+	if run.minOk > 0 {
+		floor := time.Now().Add(60 * time.Second)
+		for {
+			ok, _, _ := rec.Counts()
+			if ok >= run.minOk || time.Now().After(floor) {
+				break
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+
+	w.net.HealAll()
+	close(stop)
+	wg.Wait()
+	rec.Drain()
+
+	ops := rec.Ops()
+	okN, infoN, failN := rec.Counts()
+	t.Logf("history: %d ops (%d ok, %d info, %d fail); faults: %s", len(ops), okN, infoN, failN, stats)
+	if run.minOk > 0 && okN < run.minOk {
+		t.Fatalf("only %d acknowledged ops (wanted >= %d); seed %d", okN, run.minOk, seed)
+	}
+	budget := run.checkBudget
+	if budget == 0 {
+		budget = 25 * time.Second
+	}
+	res := lincheck.CheckHistory(run.workload.model(), ops, lincheck.Options{Timeout: budget})
+	t.Logf("lincheck: %d ops in %d partition(s) checked in %s", res.Ops, res.Partitions, res.Elapsed)
+	if res.Unknown {
+		t.Fatalf("checker exceeded its %s budget (seed %d)", budget, seed)
+	}
+	if !res.Ok {
+		t.Fatalf("history is NOT linearizable (seed %d):\n%s", seed, res.Counterexample)
+	}
+	w.checkNoViolations()
+}
+
+func TestLinearizabilityKVUnderPartitions(t *testing.T) {
+	runLin(t, linRun{
+		workload: kvWorkload(),
+		kinds:    []nemesis.Kind{nemesis.KindPartition, nemesis.KindIsolate},
+		seed:     101,
+		clients:  4,
+		steps:    6,
+	})
+}
+
+func TestLinearizabilityCounterUnderCrashes(t *testing.T) {
+	runLin(t, linRun{
+		workload: counterWorkload(),
+		kinds:    []nemesis.Kind{nemesis.KindCrashRestart, nemesis.KindLeaderKill},
+		seed:     202,
+		clients:  3,
+		steps:    5,
+	})
+}
+
+func TestLinearizabilityBankUnderReconfigChurn(t *testing.T) {
+	runLin(t, linRun{
+		workload:     bankWorkload(),
+		kinds:        []nemesis.Kind{nemesis.KindReconfigure, nemesis.KindPartition},
+		seed:         303,
+		clients:      3,
+		steps:        6,
+		minReconfigs: 1,
+	})
+}
+
+func TestLinearizabilityWALCrashRestart(t *testing.T) {
+	runLin(t, linRun{
+		workload: counterWorkload(),
+		kinds:    []nemesis.Kind{nemesis.KindCrashRestart, nemesis.KindReconfigure},
+		seed:     404,
+		clients:  3,
+		steps:    5,
+		useWAL:   true,
+	})
+}
+
+// TestLinearizabilityLarge is the acceptance run: a 5-node cluster under the
+// full fault mix — partitions, crash-restarts and at least three
+// reconfigurations — producing a 10k+-op KV history that must check in
+// seconds. The race detector multiplies per-op cost, so the floor scales
+// down under -race.
+func TestLinearizabilityLarge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large linearizability run in -short mode")
+	}
+	minOk := 10000
+	if raceEnabled {
+		minOk = 2500
+	}
+	runLin(t, linRun{
+		workload:     kvWorkload(),
+		kinds:        nemesis.AllKinds,
+		seed:         505,
+		clients:      6,
+		steps:        12,
+		minOk:        minOk,
+		minReconfigs: 3,
+		checkBudget:  25 * time.Second,
+	})
+}

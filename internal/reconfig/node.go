@@ -408,6 +408,15 @@ func (n *Node) Serving() bool {
 	return n.initialized && n.configs[n.curID].IsMember(n.self)
 }
 
+// LeaderHint returns this node's best guess at the current configuration's
+// leader ("" when unknown). Used for leader-targeted fault injection and
+// client steering; it is a hint, not a guarantee.
+func (n *Node) LeaderHint() types.NodeID {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.leaderHintLocked()
+}
+
 // AppliedSlot returns the last applied slot within the current configuration.
 func (n *Node) AppliedSlot() (types.ConfigID, types.Slot) {
 	n.mu.Lock()

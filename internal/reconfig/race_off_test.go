@@ -1,0 +1,7 @@
+//go:build !race
+
+package reconfig
+
+// raceEnabled lets heavyweight chaos tests scale their op targets down when
+// the race detector multiplies per-op cost.
+const raceEnabled = false

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"sync"
 	"testing"
 	"time"
@@ -17,12 +18,16 @@ import (
 
 // world hosts a set of reconfig nodes over one simulated network.
 type world struct {
-	t      *testing.T
-	net    *transport.Network
-	opts   Options
-	mu     sync.Mutex
-	nodes  map[types.NodeID]*Node
-	stores map[types.NodeID]*storage.MemStore
+	t    *testing.T
+	net  *transport.Network
+	opts Options
+	// newStore builds a node's backing store (default in-memory). Worlds
+	// on durable backends set it to open a per-node directory so a
+	// crash-restart recovers from the same StorageDir.
+	newStore func(id types.NodeID) storage.Store
+	mu       sync.Mutex
+	nodes    map[types.NodeID]*Node
+	stores   map[types.NodeID]storage.Store
 }
 
 func fastNodeOpts() Options {
@@ -46,7 +51,7 @@ func newWorld(t *testing.T, netOpts transport.Options) *world {
 		net:    transport.NewNetwork(netOpts),
 		opts:   fastNodeOpts(),
 		nodes:  make(map[types.NodeID]*Node),
-		stores: make(map[types.NodeID]*storage.MemStore),
+		stores: make(map[types.NodeID]storage.Store),
 	}
 	t.Cleanup(w.close)
 	return w
@@ -58,11 +63,20 @@ func (w *world) close() {
 	for _, n := range w.nodes {
 		nodes = append(nodes, n)
 	}
+	stores := make([]storage.Store, 0, len(w.stores))
+	for _, st := range w.stores {
+		stores = append(stores, st)
+	}
 	w.mu.Unlock()
 	for _, n := range nodes {
 		n.Stop()
 	}
 	w.net.Close()
+	for _, st := range stores {
+		if c, ok := st.(io.Closer); ok {
+			c.Close()
+		}
+	}
 }
 
 // startNode creates and starts a node (reusing any prior store: restart).
@@ -71,7 +85,11 @@ func (w *world) startNode(id types.NodeID, factory statemachine.Factory) *Node {
 	w.mu.Lock()
 	st, ok := w.stores[id]
 	if !ok {
-		st = storage.NewMem()
+		if w.newStore != nil {
+			st = w.newStore(id)
+		} else {
+			st = storage.NewMem()
+		}
 		w.stores[id] = st
 	}
 	w.mu.Unlock()
@@ -119,6 +137,21 @@ func (w *world) stopNode(id types.NodeID) {
 	n := w.node(id)
 	n.Stop()
 	w.net.Endpoint(id).Resume() // clear pause flag if any
+}
+
+// dropStore closes and forgets a node's store so the next startNode reopens
+// it from its backing directory — the process-crash path for durable
+// backends (a MemStore must NOT be dropped: its state would vanish).
+func (w *world) dropStore(id types.NodeID) {
+	w.mu.Lock()
+	st := w.stores[id]
+	delete(w.stores, id)
+	w.mu.Unlock()
+	if c, ok := st.(io.Closer); ok {
+		if err := c.Close(); err != nil {
+			w.t.Errorf("closing store %s: %v", id, err)
+		}
+	}
 }
 
 func (w *world) waitServing(ids ...types.NodeID) {
