@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench vet fmt-check ci
+.PHONY: all build test race bench bench-read vet fmt-check ci
 
 all: build test
 
@@ -20,6 +20,12 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 	$(GO) test -run '^$$' -bench StorageBackends -benchtime 2s ./internal/storage/
+
+# Read-path smoke: one pass of the R1 read-scaling benchmark (serving mode x
+# read ratio on the durable WAL backend) — quick sanity that the fast path
+# still beats log reads. The full sweep lives in `rsmbench -exp read`.
+bench-read:
+	$(GO) test -run '^$$' -bench R1ReadScaling -benchtime 1x .
 
 vet:
 	$(GO) vet ./...

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/harness"
+	"repro/internal/reconfig"
 )
 
 func tuning() harness.Tuning { return harness.DefaultTuning() }
@@ -221,6 +222,46 @@ func BenchmarkA1Batching(b *testing.B) {
 		b.Log("\n" + res.Render())
 		for _, row := range res.Rows {
 			b.ReportMetric(row.Throughput, fmt.Sprintf("ops/s/batch%d", row.BatchSize))
+		}
+	}
+}
+
+// BenchmarkBatchSizeDefault — the sweep behind the shipped
+// paxos.Options.BatchSize default: candidate batch sizes on the durable WAL
+// backend with synced writes, where commands-per-slot packing decides how
+// many commands share one group-commit fsync. (A1 above keeps the in-memory
+// ablation; this one is the deployment-relevant configuration.)
+func BenchmarkBatchSizeDefault(b *testing.B) {
+	t := tuning()
+	t.Storage = harness.StorageWAL
+	t.SyncWrites = true
+	for i := 0; i < b.N; i++ {
+		res, err := harness.RunA1Batching(t, []int{1, 8, 16, 32}, 1500*time.Millisecond, 16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Log("\n" + res.Render())
+		for _, row := range res.Rows {
+			b.ReportMetric(row.Throughput, fmt.Sprintf("ops/s/batch%d", row.BatchSize))
+		}
+	}
+}
+
+// BenchmarkR1ReadScaling — Table R1: linearizable read fast path, serving
+// mode x read ratio at n=3 on the durable WAL backend.
+func BenchmarkR1ReadScaling(b *testing.B) {
+	t := tuning()
+	t.Storage = harness.StorageWAL
+	t.SyncWrites = true
+	modes := []reconfig.ReadMode{reconfig.ReadModeLog, reconfig.ReadModeIndex, reconfig.ReadModeLease}
+	for i := 0; i < b.N; i++ {
+		res, err := harness.RunReadScaling(t, modes, []int{3}, []float64{0.9}, benchRunDur, 24)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Log("\n" + res.Render())
+		for _, row := range res.Rows {
+			b.ReportMetric(row.Throughput, fmt.Sprintf("ops/s/mode%d", uint8(row.Mode)))
 		}
 	}
 }

@@ -6,8 +6,9 @@
 //	rsmbench -exp t1            # one experiment
 //	rsmbench -exp all -dur 3s   # the full suite, 3s of load per run
 //	rsmbench -exp lin -seed 7   # linearizability chaos check from a seed
+//	rsmbench -exp read          # read fast path: mode x read-ratio sweep
 //
-// Experiment IDs: t1 t1d f1 t2 f2 t3 f3 t4 f4 t5 f5 lin (see DESIGN.md §4).
+// Experiment IDs: t1 t1d f1 t2 f2 t3 f3 t4 f4 t5 f5 lin read (see DESIGN.md §4).
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/harness"
+	"repro/internal/reconfig"
 )
 
 func main() {
@@ -26,7 +28,7 @@ func main() {
 
 func run() int {
 	var (
-		exp     = flag.String("exp", "all", "experiment ID (t1,t1d,f1,t2,f2,t3,f3,t4,f4,t5,f5,lin or all)")
+		exp     = flag.String("exp", "all", "experiment ID (t1,t1d,f1,t2,f2,t3,f3,t4,f4,t5,f5,lin,read or all)")
 		dur     = flag.Duration("dur", 2*time.Second, "load duration per run")
 		clients = flag.Int("clients", 4, "closed-loop client count")
 		seed    = flag.Int64("seed", 1, "nemesis schedule seed (lin experiment)")
@@ -143,6 +145,26 @@ func runOne(id string, tun harness.Tuning, dur time.Duration, clients int, seed 
 			}
 		}
 		fmt.Print(harness.RenderCrossover(results))
+	case "read":
+		// R1 runs on the durable WAL backend with synced writes: that is
+		// where the fast path's "no log append, no fsync" advantage is
+		// real rather than an artifact of free in-memory writes. More
+		// clients than the other experiments so concurrent reads share
+		// probe rounds.
+		rt := tun
+		rt.Storage = harness.StorageWAL
+		rt.SyncWrites = true
+		rc := clients
+		if rc < 24 {
+			rc = 24
+		}
+		res, err := harness.RunReadScaling(rt,
+			[]reconfig.ReadMode{reconfig.ReadModeLog, reconfig.ReadModeIndex, reconfig.ReadModeLease},
+			[]int{3, 5}, []float64{0, 0.5, 0.9, 0.99}, dur, rc)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
 	case "lin":
 		res, err := harness.RunLin(tun, seed, dur, clients)
 		if err != nil {

@@ -51,7 +51,8 @@ func (o Options) withDefaults() Options {
 
 // Stats counts the client's control-plane activity.
 type Stats struct {
-	Submits   int64 // completed Submit calls
+	Submits   int64 // completed Submit calls (including reads)
+	Reads     int64 // completed Read calls
 	Attempts  int64 // individual RPC attempts
 	Redirects int64 // redirect replies followed
 }
@@ -219,6 +220,34 @@ func (c *Client) SubmitSeq(ctx context.Context, seq uint64, op []byte) ([]byte, 
 		case <-time.After(c.opts.RetryBackoff):
 		}
 	}
+}
+
+// Read executes a read-only op. The wire protocol is the same as Submit —
+// the service classifies read-only ops and serves them through the read
+// fast path when one is enabled — so Read is Submit plus read accounting.
+// The leader hint cached from each reply keeps consecutive reads targeted
+// at the node that can serve them without a log append.
+func (c *Client) Read(ctx context.Context, op []byte) ([]byte, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrClosed
+	}
+	c.seq++
+	seq := c.seq
+	c.mu.Unlock()
+	return c.ReadSeq(ctx, seq, op)
+}
+
+// ReadSeq executes a read-only op under an explicit sequence number.
+func (c *Client) ReadSeq(ctx context.Context, seq uint64, op []byte) ([]byte, error) {
+	reply, err := c.SubmitSeq(ctx, seq, op)
+	if err == nil {
+		c.mu.Lock()
+		c.stats.Reads++
+		c.mu.Unlock()
+	}
+	return reply, err
 }
 
 // Locate queries any reachable node for the current configuration.

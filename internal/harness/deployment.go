@@ -82,7 +82,13 @@ type Tuning struct {
 	Alpha    int  // inband only
 	SpecOff  bool // composed only: disable speculative engine start
 	MaxDepth int  // paxos pipeline depth (0 = default)
-	Batch    int  // paxos commands per slot (0/1 = no batching; A1 ablation)
+	Batch    int  // paxos commands per slot (0 = default; A1 ablation)
+
+	// Reads selects the composed system's read-serving mode (log, read-index
+	// or leases); 0 keeps the reconfig default (read-index).
+	Reads reconfig.ReadMode
+	// LeaseTicks overrides the lease term when Reads is ReadModeLease.
+	LeaseTicks int
 
 	// Storage selects each node's backend: StorageMem (default), StorageFile
 	// or StorageWAL. On-disk backends make the durability experiments real:
@@ -233,6 +239,7 @@ type composedDep struct {
 	mu      sync.Mutex
 	order   []types.NodeID
 	rr      int
+	leader  types.NodeID // cached leader for SubmitToLeader
 }
 
 func newComposed(t Tuning, factory statemachine.Factory, initial, spares []types.NodeID) (*composedDep, error) {
@@ -256,6 +263,8 @@ func newComposed(t Tuning, factory statemachine.Factory, initial, spares []types
 		StaleJumpTicks:     15,
 		GossipTicks:        20,
 		DisableSpeculation: t.SpecOff,
+		Reads:              t.Reads,
+		LeaseTicks:         t.LeaseTicks,
 	}
 	boot := func(id types.NodeID, member bool) error {
 		st, err := d.stores.open(id)
@@ -323,6 +332,77 @@ func (d *composedDep) Submit(ctx context.Context, clientID types.NodeID, seq uin
 		d.refreshOrder()
 	}
 	return reply, err
+}
+
+// SubmitToLeader sends one command through the node currently believed to
+// lead, falling back to round-robin when no leader is known. The read
+// experiments use it so fast-path reads land on the replica that can serve
+// them; everything else about the call matches Submit.
+func (d *composedDep) SubmitToLeader(ctx context.Context, clientID types.NodeID, seq uint64, op []byte) ([]byte, error) {
+	d.mu.Lock()
+	n := d.nodes[d.leader]
+	d.mu.Unlock()
+	if n == nil || !n.Serving() {
+		n = d.findLeader()
+	}
+	if n == nil {
+		n = d.pick()
+	}
+	if n == nil {
+		d.refreshOrder()
+		return nil, errNotNow
+	}
+	reply, err := n.Submit(ctx, clientID, seq, op)
+	if err != nil {
+		d.mu.Lock()
+		d.leader = ""
+		d.mu.Unlock()
+		if errors.Is(err, reconfig.ErrNotServing) {
+			d.refreshOrder()
+		}
+	}
+	return reply, err
+}
+
+// findLeader scans the serving nodes for one that believes it leads and
+// caches it.
+func (d *composedDep) findLeader() *reconfig.Node {
+	d.mu.Lock()
+	nodes := make([]*reconfig.Node, 0, len(d.nodes))
+	for _, n := range d.nodes {
+		nodes = append(nodes, n)
+	}
+	d.mu.Unlock()
+	for _, n := range nodes {
+		if n != nil && n.Serving() && n.LeaderHint() == n.Self() {
+			d.mu.Lock()
+			d.leader = n.Self()
+			d.mu.Unlock()
+			return n
+		}
+	}
+	return nil
+}
+
+// ReadStats sums the read-path and inbox-drop counters over all nodes.
+func (d *composedDep) ReadStats() (fast, fallback, fenced, dropped int64) {
+	d.mu.Lock()
+	nodes := make([]*reconfig.Node, 0, len(d.nodes))
+	for _, n := range d.nodes {
+		nodes = append(nodes, n)
+	}
+	d.mu.Unlock()
+	for _, n := range nodes {
+		if n == nil {
+			continue
+		}
+		st := n.Stats()
+		fast += st.FastReads
+		fallback += st.ReadFallbacks
+		fenced += st.ReadFenced
+		dropped += st.DroppedInbound
+	}
+	return fast, fallback, fenced, dropped
 }
 
 // refreshOrder re-learns the serving member set from any node.

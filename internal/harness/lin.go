@@ -50,6 +50,10 @@ type LinResult struct {
 
 	Faults nemesis.Stats
 
+	FastReads int64 // reads served by the fast path during the run
+	Fenced    int64 // fast-path reads refused by wedge fencing
+	Dropped   int64 // engine inbox overflows (silent message loss)
+
 	Checked        int // operations the checker actually saw (ok + info)
 	CheckParts     int // independent partitions (per-key)
 	CheckTime      time.Duration
@@ -124,6 +128,7 @@ func RunLin(tun Tuning, seed int64, dur time.Duration, clients int) (LinResult, 
 	wg.Wait()
 	rec.Drain()
 	res.OkOps, res.InfoOps, res.FailOps = rec.Counts()
+	res.FastReads, _, res.Fenced, res.Dropped = dep.ReadStats()
 
 	chk := lincheck.CheckHistory(lincheck.RegisterModel(), rec.Ops(), lincheck.Options{
 		Timeout: 30 * time.Second,
@@ -164,6 +169,8 @@ func (r LinResult) Render() string {
 	fmt.Fprintf(&b, "  history: %d ops (%d ok, %d ambiguous, %d failed)\n",
 		r.OkOps+r.InfoOps+r.FailOps, r.OkOps, r.InfoOps, r.FailOps)
 	fmt.Fprintf(&b, "  faults:  %s\n", r.Faults)
+	fmt.Fprintf(&b, "  reads:   %d fast, %d fenced; dropped inbound msgs: %d\n",
+		r.FastReads, r.Fenced, r.Dropped)
 	verdict := "LINEARIZABLE"
 	switch {
 	case r.Unknown:

@@ -74,9 +74,9 @@ type regState struct {
 // partitionable and are rejected).
 func RegisterModel() Model {
 	return Model{
-		Name: "kv-register",
-		Init: func() any { return regState{} },
-		Step: deterministicStep(regApply),
+		Name:  "kv-register",
+		Init:  func() any { return regState{} },
+		Step:  deterministicStep(regApply),
 		Equal: func(a, b any) bool { return a == b },
 		Hash: func(s any) uint64 {
 			rs := s.(regState)
@@ -220,12 +220,12 @@ func describeKVOp(input, output []byte, hasOutput bool) string {
 // CounterModel models the counter machine: a single uint64 with add/get/set.
 func CounterModel() Model {
 	return Model{
-		Name: "counter",
-		Init: func() any { return uint64(0) },
-		Step: deterministicStep(counterApply),
-		Equal: func(a, b any) bool { return a == b },
-		Hash: func(s any) uint64 { return s.(uint64) * 0x9e3779b97f4a7c15 },
-		DescribeOp: describeCounterOp,
+		Name:          "counter",
+		Init:          func() any { return uint64(0) },
+		Step:          deterministicStep(counterApply),
+		Equal:         func(a, b any) bool { return a == b },
+		Hash:          func(s any) uint64 { return s.(uint64) * 0x9e3779b97f4a7c15 },
+		DescribeOp:    describeCounterOp,
 		DescribeState: func(s any) string { return fmt.Sprintf("%d", s.(uint64)) },
 	}
 }
@@ -282,11 +282,11 @@ func describeCounterOp(input, output []byte, hasOutput bool) string {
 // fine at the concurrency widths the chaos workloads use.
 func BankModel() Model {
 	return Model{
-		Name: "bank",
-		Init: func() any { return "" },
-		Step: deterministicStep(bankApply),
-		Equal: func(a, b any) bool { return a == b },
-		Hash: func(s any) uint64 { return fnv64s(s.(string)) },
+		Name:       "bank",
+		Init:       func() any { return "" },
+		Step:       deterministicStep(bankApply),
+		Equal:      func(a, b any) bool { return a == b },
+		Hash:       func(s any) uint64 { return fnv64s(s.(string)) },
 		DescribeOp: describeBankOp,
 		DescribeState: func(s any) string {
 			if s.(string) == "" {

@@ -71,6 +71,10 @@ func factoryWithStore(netOpts transport.Options, newStore func(t *testing.T, id 
 				HeartbeatEveryTicks:  2,
 				ElectionTimeoutTicks: 10,
 				ElectionJitterTicks:  10,
+				// The conformance suite observes raw decisions, one per
+				// proposed command; batching would deliver CmdBatch
+				// envelopes (unpacked only by the composition layers).
+				BatchSize: 1,
 			})
 			if err != nil {
 				t.Fatal(err)

@@ -47,6 +47,15 @@ const (
 	KindCatchupResp uint8 = 8
 	// KindForward relays a client proposal to the believed leader.
 	KindForward uint8 = 9
+	// KindReadProbe is the leader's read-index leadership confirmation:
+	// "am I still your leader?" for a batch of pending reads.
+	KindReadProbe uint8 = 10
+	// KindReadProbeAck answers a read probe.
+	KindReadProbeAck uint8 = 11
+	// KindHeartbeatAck answers a heartbeat whose WantAck flag is set; a
+	// quorum of acks for one heartbeat sequence number renews the leader's
+	// read lease.
+	KindHeartbeatAck uint8 = 12
 )
 
 // prepareMsg solicits promises for all slots >= From.
@@ -95,10 +104,37 @@ type decideMsg struct {
 }
 
 // heartbeatMsg is broadcast by the leader. Decided lets followers detect
-// that they are behind and trigger catch-up.
+// that they are behind and trigger catch-up. Seq numbers the beacon and
+// WantAck asks followers to reply with a KindHeartbeatAck so the leader can
+// measure quorum contact (used to renew read leases).
 type heartbeatMsg struct {
 	Ballot  types.Ballot
 	Decided types.Slot
+	Seq     uint64
+	WantAck bool
+}
+
+// readProbeMsg asks followers to confirm the sender is still their leader.
+// Seq identifies the confirmation round; acks quote it back.
+type readProbeMsg struct {
+	Ballot types.Ballot
+	Seq    uint64
+}
+
+// readProbeAckMsg answers a read probe. OK reports whether the acceptor is
+// still bound to a ballot no higher than the probe's; on reject, Promised
+// carries the blocking ballot.
+type readProbeAckMsg struct {
+	Ballot   types.Ballot
+	Seq      uint64
+	OK       bool
+	Promised types.Ballot
+}
+
+// heartbeatAckMsg acknowledges heartbeat Seq from the leader at Ballot.
+type heartbeatAckMsg struct {
+	Ballot types.Ballot
+	Seq    uint64
 }
 
 // catchupReqMsg requests decided entries in [From, To].
@@ -222,16 +258,69 @@ func decodeDecide(buf []byte) (decideMsg, error) {
 }
 
 func encodeHeartbeat(m heartbeatMsg) []byte {
-	w := types.NewWriter(24)
+	w := types.NewWriter(32)
 	w.Ballot(m.Ballot)
 	w.Uvarint(uint64(m.Decided))
+	w.Uvarint(m.Seq)
+	w.Bool(m.WantAck)
 	return w.Bytes()
 }
 
 func decodeHeartbeat(buf []byte) (heartbeatMsg, error) {
 	r := types.NewReader(buf)
 	m := heartbeatMsg{Ballot: r.Ballot(), Decided: types.Slot(r.Uvarint())}
+	if r.Err() == nil && r.Remaining() > 0 {
+		// Legacy frames end after Decided; Seq/WantAck are appended fields.
+		m.Seq = r.Uvarint()
+		m.WantAck = r.Bool()
+	}
 	return m, wrapDecode("heartbeat", r)
+}
+
+func encodeReadProbe(m readProbeMsg) []byte {
+	w := types.NewWriter(24)
+	w.Ballot(m.Ballot)
+	w.Uvarint(m.Seq)
+	return w.Bytes()
+}
+
+func decodeReadProbe(buf []byte) (readProbeMsg, error) {
+	r := types.NewReader(buf)
+	m := readProbeMsg{Ballot: r.Ballot(), Seq: r.Uvarint()}
+	return m, wrapDecode("read-probe", r)
+}
+
+func encodeReadProbeAck(m readProbeAckMsg) []byte {
+	w := types.NewWriter(40)
+	w.Ballot(m.Ballot)
+	w.Uvarint(m.Seq)
+	w.Bool(m.OK)
+	w.Ballot(m.Promised)
+	return w.Bytes()
+}
+
+func decodeReadProbeAck(buf []byte) (readProbeAckMsg, error) {
+	r := types.NewReader(buf)
+	m := readProbeAckMsg{
+		Ballot:   r.Ballot(),
+		Seq:      r.Uvarint(),
+		OK:       r.Bool(),
+		Promised: r.Ballot(),
+	}
+	return m, wrapDecode("read-probe-ack", r)
+}
+
+func encodeHeartbeatAck(m heartbeatAckMsg) []byte {
+	w := types.NewWriter(24)
+	w.Ballot(m.Ballot)
+	w.Uvarint(m.Seq)
+	return w.Bytes()
+}
+
+func decodeHeartbeatAck(buf []byte) (heartbeatAckMsg, error) {
+	r := types.NewReader(buf)
+	m := heartbeatAckMsg{Ballot: r.Ballot(), Seq: r.Uvarint()}
+	return m, wrapDecode("heartbeat-ack", r)
 }
 
 func encodeCatchupReq(m catchupReqMsg) []byte {

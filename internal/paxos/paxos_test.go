@@ -33,6 +33,9 @@ func fastOpts(seed int64) Options {
 		ElectionTimeoutTicks: 10,
 		ElectionJitterTicks:  10,
 		Seed:                 seed,
+		// Engine-level tests observe raw decisions, one per proposed
+		// command; batching tests override this explicitly.
+		BatchSize: 1,
 	}
 }
 

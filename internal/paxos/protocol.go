@@ -90,6 +90,21 @@ func (r *Replica) handleMessage(m inboundMsg) {
 				r.handlePropose(cmd)
 			}
 		}
+	case KindReadProbe:
+		msg, err := decodeReadProbe(m.payload)
+		if err == nil {
+			r.onReadProbe(m.from, msg)
+		}
+	case KindReadProbeAck:
+		msg, err := decodeReadProbeAck(m.payload)
+		if err == nil {
+			r.onReadProbeAck(m.from, msg)
+		}
+	case KindHeartbeatAck:
+		msg, err := decodeHeartbeatAck(m.payload)
+		if err == nil {
+			r.onHeartbeatAck(m.from, msg)
+		}
 	}
 }
 
@@ -126,6 +141,12 @@ func (r *Replica) acceptPrepare(msg prepareMsg) promiseMsg {
 }
 
 func (r *Replica) onPrepare(from types.NodeID, msg prepareMsg) {
+	if r.suppressPrepare(msg) {
+		// Lease mode: no promise for a rival while the current leader is
+		// inside its liveness window; the candidate retries and succeeds
+		// once the window lapses.
+		return
+	}
 	if r.maxBallotSeen.Less(msg.Ballot) {
 		r.maxBallotSeen = msg.Ballot
 	}
@@ -249,6 +270,14 @@ func (r *Replica) becomeLeader() {
 	if r.nextSlot < from {
 		r.nextSlot = from
 	}
+	// Read fast-path bookkeeping: every command chosen before this election
+	// is below nextSlot now (promise-quorum intersection), so nextSlot-1 is
+	// a floor for all read indexes this term. No lease or probe round from
+	// an earlier term survives the transition.
+	r.electionFloor = r.nextSlot - 1
+	r.clearLease()
+	r.failReadWaiters(smr.ErrNotLeader)
+
 	for slot := from; slot < r.nextSlot; slot++ {
 		if cmd, ok := r.decided[slot]; ok {
 			// Already chosen: re-announce for the benefit of laggards.
@@ -330,6 +359,10 @@ func (r *Replica) stepDown() {
 	}
 	r.inflight = make(map[types.Slot]*slotProgress)
 	r.promises = make(map[types.NodeID]promiseMsg)
+	// A deposed leader must answer no more fast-path reads: fail waiters
+	// (callers fall back to the log) and drop any lease immediately.
+	r.failReadWaiters(smr.ErrNotLeader)
+	r.clearLease()
 	r.resetElectionDeadline()
 }
 
@@ -467,6 +500,9 @@ func (r *Replica) onHeartbeat(from types.NodeID, msg heartbeatMsg) {
 	if msg.Decided > r.maxDecidedSeen {
 		r.maxDecidedSeen = msg.Decided
 	}
+	if msg.WantAck {
+		r.send(from, KindHeartbeatAck, encodeHeartbeatAck(heartbeatAckMsg{Ballot: msg.Ballot, Seq: msg.Seq}))
+	}
 	r.flushPendingToLeader()
 }
 
@@ -477,7 +513,20 @@ func (r *Replica) tick() {
 		if r.hbCountdown <= 0 {
 			r.hbCountdown = r.opts.HeartbeatEveryTicks
 			hb := heartbeatMsg{Ballot: r.ballot, Decided: r.deliverNext - 1}
+			if r.opts.EnableLeaseReads {
+				r.hbSeq++
+				hb.Seq = r.hbSeq
+				hb.WantAck = true
+				r.noteHeartbeatSent(hb.Seq)
+			}
 			r.broadcast(KindHeartbeat, encodeHeartbeat(hb))
+		}
+		if pr := r.curProbe; pr != nil {
+			pr.age++
+			if pr.age >= r.opts.ResendTicks {
+				pr.age = 0
+				r.broadcast(KindReadProbe, encodeReadProbe(readProbeMsg{Ballot: r.ballot, Seq: pr.seq}))
+			}
 		}
 		for slot, sp := range r.inflight {
 			sp.sinceTicks++

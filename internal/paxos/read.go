@@ -1,0 +1,288 @@
+package paxos
+
+import (
+	"time"
+
+	"repro/internal/smr"
+	"repro/internal/types"
+)
+
+// This file implements the linearizable read fast path: read-index rounds
+// (one heartbeat-style quorum round confirms leadership, shared by every
+// read that arrived while the round was pending) and optional leader leases
+// (a quorum of heartbeat acks grants a time bound during which the leader
+// answers reads with no network round at all).
+//
+// Safety of the read index: the index returned for a read is
+//
+//	max(electionFloor, deliverNext-1, maxDecidedSeen)
+//
+// where electionFloor is nextSlot-1 captured at becomeLeader. Any command
+// chosen before this leader's election was accepted by a quorum that
+// intersects the promise quorum, so it appears in some promise and is below
+// electionFloor; any command this leader chose afterwards is learned locally
+// at the moment of decision and so is covered by deliverNext/maxDecidedSeen.
+// The probe round then establishes that no higher ballot had been promised
+// by a quorum member at ack time: a fully elected newer leader must have
+// finished its election after those acks, so its writes began after the
+// read was invoked and need not be visible to it.
+
+// readRequest is one fast-path read awaiting a leadership confirmation.
+type readRequest struct {
+	done func(index types.Slot, err error)
+}
+
+// probeRound is one in-flight read-index confirmation round. Reads that
+// arrive while a round is outstanding queue for the next round; a round's
+// index is fixed at dispatch, which is at or after every joined read's
+// invocation, so it covers all commands chosen before any of them started.
+type probeRound struct {
+	seq     uint64
+	index   types.Slot
+	acks    map[types.NodeID]bool
+	waiters []func(index types.Slot, err error)
+	age     int
+}
+
+var _ smr.ReadIndexer = (*Replica)(nil)
+
+// ReadIndex implements smr.ReadIndexer. The callback fires exactly once,
+// possibly synchronously; it runs on the engine's event loop goroutine and
+// must not block.
+func (r *Replica) ReadIndex(done func(index types.Slot, err error)) error {
+	if !r.started.Load() {
+		return smr.ErrStopped
+	}
+	select {
+	case <-r.stopCh:
+		return smr.ErrStopped
+	default:
+	}
+	select {
+	case r.readCh <- readRequest{done: done}:
+	default:
+		return ErrBusy
+	}
+	// The loop may have exited between the stop check and the send, leaving
+	// the request stranded in readCh. Every buffered request is pulled from
+	// the channel exactly once — by the loop, by the loop's shutdown drain,
+	// or here — so each done still runs exactly once.
+	select {
+	case <-r.loopDone:
+		r.failBufferedReads()
+	default:
+	}
+	return nil
+}
+
+// failBufferedReads drains readCh and fails whatever it pulls. Only called
+// once the event loop is guaranteed not to be consuming the channel.
+func (r *Replica) failBufferedReads() {
+	for {
+		select {
+		case req := <-r.readCh:
+			req.done(0, smr.ErrStopped)
+		default:
+			return
+		}
+	}
+}
+
+// finishReads fails every read the loop still owes an answer. It runs as the
+// loop goroutine's last deferred call, after loopDone is closed, so that any
+// ReadIndex racing with shutdown either sees loopDone closed (and drains the
+// channel itself) or enqueued before this drain.
+func (r *Replica) finishReads() {
+	r.failReadWaiters(smr.ErrStopped)
+	r.failBufferedReads()
+}
+
+// failReadWaiters aborts the in-flight probe round and the queued next
+// round. Called on step-down, on election (defensively) and at shutdown.
+func (r *Replica) failReadWaiters(err error) {
+	if pr := r.curProbe; pr != nil {
+		r.curProbe = nil
+		for _, done := range pr.waiters {
+			done(0, err)
+		}
+	}
+	for _, done := range r.nextReads {
+		done(0, err)
+	}
+	r.nextReads = nil
+}
+
+// readIndexNow computes the slot every command chosen before "now" is at or
+// below. See the file comment for the safety argument.
+func (r *Replica) readIndexNow() types.Slot {
+	idx := r.electionFloor
+	if d := r.deliverNext - 1; d > idx {
+		idx = d
+	}
+	if r.maxDecidedSeen > idx {
+		idx = r.maxDecidedSeen
+	}
+	return idx
+}
+
+// handleRead is the loop-side entry for one fast-path read.
+func (r *Replica) handleRead(req readRequest) {
+	if r.role != roleLeader {
+		req.done(0, smr.ErrNotLeader)
+		return
+	}
+	if r.opts.EnableLeaseReads && time.Now().Before(r.leaseUntil) {
+		r.stats.leaseReads.Add(1)
+		req.done(r.readIndexNow(), nil)
+		return
+	}
+	r.nextReads = append(r.nextReads, req.done)
+	if r.curProbe == nil {
+		r.dispatchProbe()
+	}
+}
+
+// dispatchProbe starts a confirmation round for all queued reads.
+func (r *Replica) dispatchProbe() {
+	if len(r.nextReads) == 0 || r.role != roleLeader {
+		return
+	}
+	r.probeSeq++
+	pr := &probeRound{
+		seq:     r.probeSeq,
+		index:   r.readIndexNow(),
+		acks:    map[types.NodeID]bool{r.self: true},
+		waiters: r.nextReads,
+	}
+	r.nextReads = nil
+	r.curProbe = pr
+	r.broadcast(KindReadProbe, encodeReadProbe(readProbeMsg{Ballot: r.ballot, Seq: pr.seq}))
+	r.maybeFinishProbe() // a single-member configuration is its own quorum
+}
+
+func (r *Replica) maybeFinishProbe() {
+	pr := r.curProbe
+	if pr == nil || len(pr.acks) < r.cfg.Quorum() {
+		return
+	}
+	r.curProbe = nil
+	r.stats.readRounds.Add(1)
+	for _, done := range pr.waiters {
+		done(pr.index, nil)
+	}
+	r.dispatchProbe() // serve reads that queued during the round
+}
+
+// onReadProbe is the acceptor side of a confirmation round: ack OK iff we
+// are not bound to a ballot above the probe's.
+func (r *Replica) onReadProbe(from types.NodeID, msg readProbeMsg) {
+	if r.maxBallotSeen.Less(msg.Ballot) {
+		r.maxBallotSeen = msg.Ballot
+	}
+	if (r.role == roleLeader || r.role == roleCandidate) && r.ballot.Less(msg.Ballot) {
+		r.stepDown()
+	}
+	ok := !msg.Ballot.Less(r.promised)
+	r.send(from, KindReadProbeAck, encodeReadProbeAck(readProbeAckMsg{
+		Ballot: msg.Ballot, Seq: msg.Seq, OK: ok, Promised: r.promised,
+	}))
+}
+
+func (r *Replica) onReadProbeAck(from types.NodeID, msg readProbeAckMsg) {
+	if r.role != roleLeader || !msg.Ballot.Equal(r.ballot) {
+		return
+	}
+	if !msg.OK {
+		if r.maxBallotSeen.Less(msg.Promised) {
+			r.maxBallotSeen = msg.Promised
+		}
+		r.stepDown() // fails all read waiters
+		return
+	}
+	pr := r.curProbe
+	if pr == nil || msg.Seq != pr.seq {
+		return
+	}
+	pr.acks[from] = true
+	r.maybeFinishProbe()
+}
+
+// --- leases ------------------------------------------------------------------
+
+// leaseDuration is the granted lease term minus a conservative 25% margin
+// for clock-rate skew between leader and followers.
+func (r *Replica) leaseDuration() time.Duration {
+	d := time.Duration(r.opts.LeaseTicks) * r.opts.TickInterval
+	return d - d/4
+}
+
+// noteHeartbeatSent records an ack-requesting heartbeat so a later quorum of
+// acks can renew the lease from its send time.
+func (r *Replica) noteHeartbeatSent(seq uint64) {
+	r.hbSent[seq] = time.Now()
+	r.hbAcks[seq] = map[types.NodeID]bool{r.self: true}
+	for s := range r.hbSent {
+		if s+8 <= seq { // prune rounds that never reached quorum
+			delete(r.hbSent, s)
+			delete(r.hbAcks, s)
+		}
+	}
+	r.maybeRenewLease(seq)
+}
+
+func (r *Replica) onHeartbeatAck(from types.NodeID, msg heartbeatAckMsg) {
+	if r.role != roleLeader || !msg.Ballot.Equal(r.ballot) {
+		return
+	}
+	acks, ok := r.hbAcks[msg.Seq]
+	if !ok {
+		return
+	}
+	acks[from] = true
+	r.maybeRenewLease(msg.Seq)
+}
+
+// maybeRenewLease extends the lease from the send time of a quorum-acked
+// heartbeat. Renewal is anchored to the send time, not the ack time, so the
+// lease never outlives what the quorum actually vouched for.
+func (r *Replica) maybeRenewLease(seq uint64) {
+	acks := r.hbAcks[seq]
+	if acks == nil || len(acks) < r.cfg.Quorum() {
+		return
+	}
+	sent, ok := r.hbSent[seq]
+	if !ok {
+		return
+	}
+	if until := sent.Add(r.leaseDuration()); until.After(r.leaseUntil) {
+		r.leaseUntil = until
+	}
+	delete(r.hbSent, seq)
+	delete(r.hbAcks, seq)
+}
+
+// clearLease drops all lease state; called on step-down and on election so
+// no lease survives a change of term.
+func (r *Replica) clearLease() {
+	r.leaseUntil = time.Time{}
+	r.hbSent = make(map[uint64]time.Time)
+	r.hbAcks = make(map[uint64]map[types.NodeID]bool)
+}
+
+// suppressPrepare reports whether an acceptor in lease mode should ignore a
+// prepare. While leases are enabled, promising to a would-be leader that is
+// not the current one, inside the current leader's liveness window, could
+// elect a new leader while the old one still answers reads locally. The
+// window is the election timeout since the last heartbeat — the same bound
+// after which this node would itself compete — so suppression never blocks
+// an election the failure detector justifies.
+func (r *Replica) suppressPrepare(msg prepareMsg) bool {
+	if !r.opts.EnableLeaseReads {
+		return false
+	}
+	hint, _ := r.leaderHint.Load().(types.NodeID)
+	if hint == "" || hint == msg.Ballot.Leader || hint == r.self {
+		return false
+	}
+	return r.ticksSinceHB < r.opts.ElectionTimeoutTicks
+}

@@ -2,6 +2,7 @@ package paxos
 
 import (
 	"fmt"
+	"log"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -32,8 +33,10 @@ type Options struct {
 	// MaxInflight caps the phase-2 pipeline depth. Default 64.
 	MaxInflight int
 	// BatchSize is the maximum number of queued commands a leader packs
-	// into one consensus slot. Default 1 (no batching); the A1 ablation
-	// sweeps it.
+	// into one consensus slot. Default 16, the winner of the
+	// BenchmarkBatchSizeDefault sweep on the durable WAL backend (batching
+	// decides how many commands share one group-commit fsync); the A1
+	// ablation sweeps it explicitly.
 	BatchSize int
 	// PendingLimit caps queued proposals awaiting a leader or a pipeline
 	// slot; beyond it Propose returns ErrBusy. Default 4096.
@@ -41,6 +44,18 @@ type Options struct {
 	// CatchupBatch is the max decided entries per catch-up response.
 	// Default 512.
 	CatchupBatch int
+	// EnableLeaseReads turns on leader leases: ReadIndex answers without a
+	// quorum round while a quorum-acked heartbeat lease is current, and
+	// acceptors suppress promises to rival candidates inside the leader's
+	// liveness window. Off by default; safety additionally assumes bounded
+	// clock-rate skew (see LeaseTicks margin).
+	EnableLeaseReads bool
+	// LeaseTicks is the lease term granted by one quorum-acked heartbeat,
+	// in ticks from its send time; a 25% margin is subtracted to absorb
+	// clock-rate skew. Default ElectionTimeoutTicks/2. Terms longer than
+	// the election timeout are unsafe at this layer and rely entirely on
+	// the composition layer's wedge fencing.
+	LeaseTicks int
 	// Seed seeds the replica's private RNG (election jitter).
 	Seed int64
 }
@@ -65,13 +80,19 @@ func (o Options) withDefaults() Options {
 		o.MaxInflight = 64
 	}
 	if o.BatchSize <= 0 {
-		o.BatchSize = 1
+		o.BatchSize = 16
 	}
 	if o.PendingLimit <= 0 {
 		o.PendingLimit = 4096
 	}
 	if o.CatchupBatch <= 0 {
 		o.CatchupBatch = 512
+	}
+	if o.LeaseTicks <= 0 {
+		o.LeaseTicks = o.ElectionTimeoutTicks / 2
+		if o.LeaseTicks < 1 {
+			o.LeaseTicks = 1
+		}
 	}
 	return o
 }
@@ -107,6 +128,15 @@ type Stats struct {
 	StepDowns           int64
 	CatchupRequests     int64
 	InvariantViolations int64
+	// DroppedInbound counts inbound protocol messages discarded because the
+	// inbox was full. The protocol tolerates loss, but a nonzero value means
+	// the event loop is saturated and peers are being ignored.
+	DroppedInbound int64
+	// ReadRounds counts completed read-index confirmation rounds; comparing
+	// it against served reads shows the probe batching factor.
+	ReadRounds int64
+	// LeaseReads counts reads answered locally under a valid leader lease.
+	LeaseReads int64
 }
 
 // Replica is one member's engine instance for a single, fixed configuration.
@@ -122,6 +152,7 @@ type Replica struct {
 
 	inMsg     chan inboundMsg
 	proposeCh chan types.Command
+	readCh    chan readRequest
 	stopCh    chan struct{}
 	stopOnce  sync.Once
 	loopDone  chan struct{}
@@ -141,7 +172,9 @@ type Replica struct {
 
 	stats struct {
 		decided, proposals, elections, stepDowns, catchups, violations atomic.Int64
+		droppedInbound, readRounds, leaseReads                         atomic.Int64
 	}
+	lastDropWarn atomic.Int64 // unix nanos of the last overflow warning
 
 	// --- state below is owned exclusively by the event loop goroutine ---
 	rng      *rand.Rand
@@ -165,6 +198,16 @@ type Replica struct {
 	hbCountdown      int
 	prepareAge       int
 	catchupCooldown  int
+
+	// read fast path (see read.go)
+	curProbe      *probeRound
+	nextReads     []func(index types.Slot, err error)
+	probeSeq      uint64
+	electionFloor types.Slot
+	leaseUntil    time.Time
+	hbSeq         uint64
+	hbSent        map[uint64]time.Time
+	hbAcks        map[uint64]map[types.NodeID]bool
 }
 
 var _ smr.Engine = (*Replica)(nil)
@@ -186,6 +229,7 @@ func New(cfg types.Config, self types.NodeID, ep *transport.Endpoint, store stor
 		prefix:    fmt.Sprintf("pxs/%d/", stream),
 		inMsg:     make(chan inboundMsg, 8192),
 		proposeCh: make(chan types.Command, 1024),
+		readCh:    make(chan readRequest, 4096),
 		stopCh:    make(chan struct{}),
 		loopDone:  make(chan struct{}),
 		pumpDone:  make(chan struct{}),
@@ -196,6 +240,8 @@ func New(cfg types.Config, self types.NodeID, ep *transport.Endpoint, store stor
 		decided:   make(map[types.Slot]types.Command),
 		promises:  make(map[types.NodeID]promiseMsg),
 		inflight:  make(map[types.Slot]*slotProgress),
+		hbSent:    make(map[uint64]time.Time),
+		hbAcks:    make(map[uint64]map[types.NodeID]bool),
 		role:      roleFollower,
 
 		deliverNext: 1,
@@ -288,7 +334,10 @@ func (r *Replica) Start() error {
 		case r.inMsg <- inboundMsg{from: from, kind: kind, payload: payload}:
 		case <-r.stopCh:
 		default:
-			// Inbox overflow: drop, like the network would.
+			// Inbox overflow: drop, like the network would — but count it,
+			// and warn (rate-limited) because a saturated event loop is an
+			// operational problem the protocol merely tolerates.
+			r.warnDropped(r.stats.droppedInbound.Add(1))
 		}
 	})
 	go r.pump()
@@ -347,6 +396,22 @@ func (r *Replica) Stats() Stats {
 		StepDowns:           r.stats.stepDowns.Load(),
 		CatchupRequests:     r.stats.catchups.Load(),
 		InvariantViolations: r.stats.violations.Load(),
+		DroppedInbound:      r.stats.droppedInbound.Load(),
+		ReadRounds:          r.stats.readRounds.Load(),
+		LeaseReads:          r.stats.leaseReads.Load(),
+	}
+}
+
+// warnDropped logs at most one inbox-overflow warning per second.
+func (r *Replica) warnDropped(total int64) {
+	now := time.Now().UnixNano()
+	last := r.lastDropWarn.Load()
+	if now-last < int64(time.Second) {
+		return
+	}
+	if r.lastDropWarn.CompareAndSwap(last, now) {
+		log.Printf("paxos: %s stream %d inbox overflow, dropping inbound messages (%d dropped so far)",
+			r.self, r.stream, total)
 	}
 }
 
@@ -400,6 +465,10 @@ func (r *Replica) enqueueDecision(d smr.Decision) {
 
 // loop is the single-threaded protocol engine; all Paxos state is owned here.
 func (r *Replica) loop() {
+	// LIFO: loopDone closes first, then finishReads drains, so a ReadIndex
+	// racing with shutdown can detect the closed loop and self-drain (see
+	// read.go) without ever losing a callback.
+	defer r.finishReads()
 	defer close(r.loopDone)
 	ticker := time.NewTicker(r.opts.TickInterval)
 	defer ticker.Stop()
@@ -424,6 +493,8 @@ func (r *Replica) loop() {
 			r.handleMessage(m)
 		case cmd := <-r.proposeCh:
 			r.handlePropose(cmd)
+		case req := <-r.readCh:
+			r.handleRead(req)
 		case <-ticker.C:
 			r.tick()
 		}

@@ -39,9 +39,18 @@ func (n *Node) routeDecisionLocked(td taggedDecision) {
 	run.buffered = append(run.buffered, td.dec)
 }
 
-// pumpLocked applies every ready decision of the current configuration,
-// following wedges across engines until no more progress is possible.
+// pumpLocked applies every ready decision and then serves any fast-path
+// reads whose index the apply cursor just reached (or whose configuration
+// the pumped decisions just wedged).
 func (n *Node) pumpLocked() {
+	n.pumpDecisionsLocked()
+	n.serveReadyReadsLocked()
+}
+
+// pumpDecisionsLocked applies every ready decision of the current
+// configuration, following wedges across engines until no more progress is
+// possible.
+func (n *Node) pumpDecisionsLocked() {
 	for {
 		if !n.initialized {
 			return

@@ -131,6 +131,37 @@ func kvWorkload() linWorkload {
 	}
 }
 
+// kvReadHeavyWorkload is the fast-path stressor: ~90% of generated ops are
+// Gets, so under ReadModeIndex/ReadModeLease nearly all load rides the
+// read-only path while the remaining writes keep the register model moving.
+// Linearizability violations here are exactly the stale-read bugs the wedge
+// fence and read-index confirmation exist to prevent.
+func kvReadHeavyWorkload() linWorkload {
+	vals := make([][]byte, 6)
+	for i := range vals {
+		vals[i] = []byte(fmt.Sprintf("v%d", i))
+	}
+	return linWorkload{
+		name:    "kv-read-heavy",
+		factory: statemachine.NewKVMachine,
+		model:   lincheck.RegisterModel,
+		genOp: func(rng *rand.Rand) []byte {
+			key := fmt.Sprintf("k%d", rng.Intn(8))
+			if rng.Intn(10) != 0 {
+				return statemachine.EncodeGet(key)
+			}
+			switch rng.Intn(3) {
+			case 0:
+				return statemachine.EncodePut(key, vals[rng.Intn(len(vals))])
+			case 1:
+				return statemachine.EncodeAppend(key, []byte{byte('a' + rng.Intn(4))})
+			default:
+				return statemachine.EncodeDelete(key)
+			}
+		},
+	}
+}
+
 func counterWorkload() linWorkload {
 	return linWorkload{
 		name:    "counter",
@@ -184,6 +215,8 @@ type linRun struct {
 	minReconfigs int // drive extra reconfigurations until this count
 	useWAL       bool
 	checkBudget  time.Duration
+	reads        ReadMode // 0 keeps the node default (ReadModeIndex)
+	leaseTicks   int      // lease term override when reads is ReadModeLease
 }
 
 func runLin(t *testing.T, run linRun) {
@@ -194,6 +227,10 @@ func runLin(t *testing.T, run linRun) {
 		LossRate:    0.01,
 		Seed:        seed,
 	})
+	if run.reads != 0 {
+		w.opts.Reads = run.reads
+		w.opts.LeaseTicks = run.leaseTicks
+	}
 	if run.useWAL {
 		dir := t.TempDir()
 		w.newStore = func(id types.NodeID) storage.Store {
@@ -365,6 +402,57 @@ func TestLinearizabilityWALCrashRestart(t *testing.T) {
 		clients:  3,
 		steps:    5,
 		useWAL:   true,
+	})
+}
+
+// TestLinearizabilityReadHeavyIndex drives the read-index fast path hard:
+// 90% Gets against a cluster whose leader is repeatedly killed and whose
+// links partition. Every fast read must still be linearizable — a read
+// answered by a deposed leader that skipped its confirmation round would
+// show up as a stale-read counterexample.
+func TestLinearizabilityReadHeavyIndex(t *testing.T) {
+	runLin(t, linRun{
+		workload: kvReadHeavyWorkload(),
+		kinds:    []nemesis.Kind{nemesis.KindLeaderKill, nemesis.KindPartition},
+		seed:     606,
+		clients:  4,
+		steps:    6,
+		reads:    ReadModeIndex,
+	})
+}
+
+// TestLinearizabilityReadHeavyIndexReconfig crosses the fast path with
+// reconfiguration churn: wedge fencing must cut over reads to the successor
+// configuration with no stale window.
+func TestLinearizabilityReadHeavyIndexReconfig(t *testing.T) {
+	runLin(t, linRun{
+		workload:     kvReadHeavyWorkload(),
+		kinds:        []nemesis.Kind{nemesis.KindReconfigure, nemesis.KindPartition},
+		seed:         707,
+		clients:      4,
+		steps:        6,
+		minReconfigs: 1,
+		reads:        ReadModeIndex,
+	})
+}
+
+// TestLinearizabilityReadHeavyLease runs the same read-heavy load on the
+// lease tier — the leader answers reads with no per-read message round — and
+// mixes leader kills with reconfigurations, the two events that depose a
+// lease holder. The default lease term (half the election timeout, minus the
+// clock-skew margin) keeps every lease inside the prepare-suppression window,
+// so loss-induced elections cannot outrun a valid lease; reconfigurations are
+// covered by wedge fencing. TestWedgeFencesLeaseReads covers the deliberately
+// long-lease corner.
+func TestLinearizabilityReadHeavyLease(t *testing.T) {
+	runLin(t, linRun{
+		workload:     kvReadHeavyWorkload(),
+		kinds:        []nemesis.Kind{nemesis.KindLeaderKill, nemesis.KindReconfigure},
+		seed:         808,
+		clients:      4,
+		steps:        6,
+		minReconfigs: 1,
+		reads:        ReadModeLease,
 	})
 }
 

@@ -11,6 +11,7 @@ import (
 	"repro/internal/rpc"
 	"repro/internal/smr"
 	"repro/internal/statemachine"
+	"repro/internal/stats"
 	"repro/internal/storage"
 	"repro/internal/transport"
 	"repro/internal/types"
@@ -47,7 +48,37 @@ type Options struct {
 	// snapshot is still in flight. Ablation switch for experiments
 	// F2/F5; the paper's design keeps it false.
 	DisableSpeculation bool
+	// Reads selects how read-only client ops are served. Default
+	// ReadModeIndex (leader read-index fast path with log fallback).
+	Reads ReadMode
+	// LeaseTicks overrides the engine lease term when Reads is
+	// ReadModeLease; 0 keeps the engine default. See paxos.Options.
+	LeaseTicks int
+	// DisableReadFence turns off the wedge fencing of fast-path reads.
+	// UNSAFE — a wedged configuration's leader will keep serving reads
+	// from pre-wedge state. Exists only so tests and the ablation can
+	// demonstrate that the fence is load-bearing.
+	DisableReadFence bool
 }
+
+// ReadMode selects the serving strategy for read-only ops. Values start at 1
+// so the zero value can be normalized to the default.
+type ReadMode uint8
+
+const (
+	// ReadModeLog proposes every read through the log like a write — the
+	// baseline: always safe, always slow.
+	ReadModeLog ReadMode = 1
+	// ReadModeIndex serves reads via the leader read-index protocol: one
+	// quorum heartbeat round (shared by all reads awaiting it) confirms
+	// leadership, then the read is answered from local state at or past
+	// the confirmed index. No log append, no disk write.
+	ReadModeIndex ReadMode = 2
+	// ReadModeLease additionally lets the leader answer reads with no
+	// network round while it holds a quorum-granted, time-bounded lease.
+	// Relies on bounded clock-rate skew; off by default.
+	ReadModeLease ReadMode = 3
+)
 
 func (o Options) withDefaults() Options {
 	if o.RetryInterval <= 0 {
@@ -67,6 +98,17 @@ func (o Options) withDefaults() Options {
 	}
 	if o.PendingMaxRetries <= 0 {
 		o.PendingMaxRetries = 2000
+	}
+	if o.Reads == 0 {
+		o.Reads = ReadModeIndex
+	}
+	if o.Reads == ReadModeLease {
+		// Every engine this node runs grants leases; the node's wedge
+		// fencing is what keeps them safe across reconfigurations.
+		o.Paxos.EnableLeaseReads = true
+		if o.LeaseTicks > 0 {
+			o.Paxos.LeaseTicks = o.LeaseTicks
+		}
 	}
 	return o
 }
@@ -128,6 +170,10 @@ type NodeStats struct {
 	SnapshotsFetched    int64
 	Resubmits           int64 // pending command re-proposals
 	InvariantViolations int64
+	FastReads           int64 // reads served via the fast path (no log append)
+	ReadFallbacks       int64 // fast-path reads that fell back to the log
+	ReadFenced          int64 // fast-path reads refused by wedge fencing
+	DroppedInbound      int64 // engine inbox overflows, summed over engines
 }
 
 // Node is one process's reconfigurable-SMR runtime: it hosts the static
@@ -152,6 +198,7 @@ type Node struct {
 	appliedSlot types.Slot
 	engines     map[types.ConfigID]*engineRun
 	pending     map[pendKey]*pendingCmd
+	readWaiters []*readWaiter   // fast-path reads awaiting their index
 	cfgWaiters  []chan struct{} // signaled (closed) on every transition
 	fetching    bool
 	staleTicks  int
@@ -171,6 +218,7 @@ type Node struct {
 		snapshotsServed, snapshotsFetched       int64
 		resubmits, violations                   int64
 	}
+	reads stats.ReadPathCounters
 }
 
 // NewNode constructs a Node. Call Bootstrap (first boot of an initial
@@ -450,6 +498,11 @@ func (n *Node) ChainRecords() []ChainRecord {
 func (n *Node) Stats() NodeStats {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	var dropped int64
+	for _, run := range n.engines {
+		dropped += run.eng.Stats().DroppedInbound
+	}
+	fast, fallback, fenced := n.reads.Snapshot()
 	return NodeStats{
 		Applied:             n.stats.applied,
 		Duplicates:          n.stats.duplicates,
@@ -459,6 +512,10 @@ func (n *Node) Stats() NodeStats {
 		SnapshotsFetched:    n.stats.snapshotsFetched,
 		Resubmits:           n.stats.resubmits,
 		InvariantViolations: n.stats.violations,
+		FastReads:           fast,
+		ReadFallbacks:       fallback,
+		ReadFenced:          fenced,
+		DroppedInbound:      dropped,
 	}
 }
 

@@ -106,6 +106,26 @@ func (n *Node) handleSubmit(cmd types.Command, respond func([]byte)) {
 		}))
 		return
 	}
+	// Read-only fast path: serve linearizable reads without a log append.
+	// tryFastReadLocked may drop and re-acquire n.mu around the engine
+	// call, so the serving state is re-validated below when it declines.
+	if n.tryFastReadLocked(cmd, respond) {
+		return
+	}
+	if n.stopped {
+		return
+	}
+	if !n.initialized || !n.configs[n.curID].IsMember(n.self) {
+		respond(n.redirectReplyLocked())
+		return
+	}
+	n.enqueueSubmitLocked(cmd, respond)
+}
+
+// enqueueSubmitLocked registers a pending waiter for cmd and proposes it
+// into the current engine — the ordinary log path for writes and for reads
+// that could not use the fast path.
+func (n *Node) enqueueSubmitLocked(cmd types.Command, respond func([]byte)) {
 	key := pendKey{client: cmd.Client, seq: cmd.Seq}
 	p, ok := n.pending[key]
 	if !ok {
@@ -158,6 +178,9 @@ func (n *Node) handleAnnounce(rec ChainRecord) {
 		// Otherwise our own log delivers the wedge; the stale-jump
 		// fallback covers a dead predecessor quorum.
 	}
+
+	// The new chain record may have fenced parked fast-path reads.
+	n.serveReadyReadsLocked()
 }
 
 // advanceToLocked moves the node's execution cursor to configuration id
@@ -179,6 +202,7 @@ func (n *Node) advanceToLocked(id types.ConfigID) {
 	} else {
 		n.redirectAllPendingLocked()
 	}
+	n.serveReadyReadsLocked()
 	n.notifyTransitionLocked()
 }
 
@@ -206,6 +230,7 @@ func (n *Node) houseTick() {
 	if n.initialized && member {
 		n.resubmitPendingLocked()
 	}
+	n.ageReadWaitersLocked()
 
 	// Stale jump: a successor of our current configuration is known, but
 	// our own engine has not delivered the wedge (e.g. the old quorum is

@@ -45,9 +45,28 @@ type Engine interface {
 	Leader() (types.NodeID, bool)
 }
 
+// ReadIndexer is an optional engine capability: linearizable reads without
+// log appends. ReadIndex asks the engine for a slot such that any command
+// chosen before the read was invoked has slot <= index; the engine confirms
+// it still holds leadership (one quorum round, or a valid lease) and then
+// invokes done exactly once. On success err is nil and index is the slot the
+// caller must have applied before answering the read locally. On failure
+// (not leader, deposed mid-round, engine stopped) err is non-nil and the
+// caller falls back to proposing the read through the log.
+//
+// done may be invoked synchronously from ReadIndex or later from the
+// engine's event loop; implementations of done must not block.
+type ReadIndexer interface {
+	ReadIndex(done func(index types.Slot, err error)) error
+}
+
 // ErrStopped is returned by Propose after the engine has stopped (e.g. the
 // configuration was wedged).
 var ErrStopped = errors.New("smr: engine stopped")
+
+// ErrNotLeader is returned through a ReadIndexer callback when the engine is
+// not (or no longer) the leader and cannot serve a fast-path read.
+var ErrNotLeader = errors.New("smr: not leader")
 
 // ErrNotMember is returned when constructing an engine on a node outside the
 // configuration.

@@ -80,6 +80,20 @@ func EncodeBalance(account string) []byte {
 // EncodeTotal encodes a total-balance query.
 func EncodeTotal() []byte { return []byte{byte(BankTotal)} }
 
+// ReadOnly implements ReadOnlyDetector: balance and total queries never
+// mutate the ledger.
+func (m *Bank) ReadOnly(op []byte) bool {
+	if len(op) == 0 {
+		return false
+	}
+	switch BankOp(op[0]) {
+	case BankBalance, BankTotal:
+		return true
+	default:
+		return false
+	}
+}
+
 // Apply implements Machine.
 func (m *Bank) Apply(op []byte) []byte {
 	if len(op) == 0 {

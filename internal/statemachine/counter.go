@@ -48,6 +48,11 @@ func EncodeCounterSet(v uint64) []byte {
 	return w.Bytes()
 }
 
+// ReadOnly implements ReadOnlyDetector.
+func (m *Counter) ReadOnly(op []byte) bool {
+	return len(op) > 0 && CounterOp(op[0]) == CounterGet
+}
+
 // Apply implements Machine.
 func (m *Counter) Apply(op []byte) []byte {
 	if len(op) == 0 {

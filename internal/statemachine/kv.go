@@ -98,6 +98,20 @@ func EncodeKeys(prefix string, limit uint64) []byte {
 // EncodeSize encodes a size query.
 func EncodeSize() []byte { return []byte{byte(KVSize)} }
 
+// ReadOnly implements ReadOnlyDetector: gets, key listings and size queries
+// never mutate the store.
+func (m *KVStore) ReadOnly(op []byte) bool {
+	if len(op) == 0 {
+		return false
+	}
+	switch KVOp(op[0]) {
+	case KVGet, KVKeys, KVSize:
+		return true
+	default:
+		return false
+	}
+}
+
 // Apply implements Machine.
 func (m *KVStore) Apply(op []byte) []byte {
 	if len(op) == 0 {

@@ -30,6 +30,16 @@ type Machine interface {
 // restore from snapshots.
 type Factory func() Machine
 
+// ReadOnlyDetector is an optional Machine capability: classifying ops that
+// cannot change state. Only ops for which ReadOnly returns true may be
+// served through the linearizable read fast path (no log append); a machine
+// that does not implement it gets no fast path. ReadOnly must be
+// conservative — when in doubt (malformed op, unknown opcode), report false
+// and let the op take the log path, where a BadOp reply is harmless.
+type ReadOnlyDetector interface {
+	ReadOnly(op []byte) bool
+}
+
 // Status is the leading byte of every reply produced by the machines in
 // this package. Values start at 1 so a zero byte is never a valid status.
 type Status uint8

@@ -60,6 +60,24 @@ func (s *Sessioned) LastSeq(client types.NodeID) uint64 {
 	return s.sessions[client].lastSeq
 }
 
+// ReadOnly reports whether op cannot change the inner machine's state,
+// delegating to the inner machine's ReadOnlyDetector (false if absent).
+func (s *Sessioned) ReadOnly(op []byte) bool {
+	if d, ok := s.inner.(ReadOnlyDetector); ok {
+		return d.ReadOnly(op)
+	}
+	return false
+}
+
+// ApplyRead executes a read-only op against the inner machine directly,
+// bypassing the session table: fast-path reads are not logged, so they must
+// not advance session state either (a retried read simply re-executes,
+// which is harmless for an op that changes nothing). The caller is
+// responsible for only passing ops for which ReadOnly is true.
+func (s *Sessioned) ApplyRead(op []byte) []byte {
+	return s.inner.Apply(op)
+}
+
 // Sessions returns the number of tracked client sessions.
 func (s *Sessioned) Sessions() int { return len(s.sessions) }
 

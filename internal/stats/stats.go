@@ -273,6 +273,21 @@ func (c *Counter) Value() int64 {
 	return c.v
 }
 
+// ReadPathCounters aggregates the outcomes of the linearizable read fast
+// path: reads served without a log append (hits), reads that fell back to
+// the ordinary log path, and reads refused because their configuration was
+// wedged by a reconfiguration (fenced).
+type ReadPathCounters struct {
+	Fast     Counter
+	Fallback Counter
+	Fenced   Counter
+}
+
+// Snapshot returns the three counts at once.
+func (c *ReadPathCounters) Snapshot() (fast, fallback, fenced int64) {
+	return c.Fast.Value(), c.Fallback.Value(), c.Fenced.Value()
+}
+
 // Histogram counts values in power-of-two buckets: bucket i holds values v
 // with 2^(i-1) <= v < 2^i (bucket 0 holds v <= 0 and v == 1 lands in bucket
 // 1). It is safe for concurrent use and cheap enough for per-message paths —
