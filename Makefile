@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-read vet fmt-check ci
+.PHONY: all build test race bench bench-read bench-snapshot vet fmt-check ci
 
 all: build test
 
@@ -26,6 +26,13 @@ bench:
 # still beats log reads. The full sweep lives in `rsmbench -exp read`.
 bench-read:
 	$(GO) test -run '^$$' -bench R1ReadScaling -benchtime 1x .
+
+# State-transfer smoke: one composed member swap with ~4MB of preloaded
+# state, chunked vs monolithic transfer, reporting commit gap and wedge
+# capture time. The full sweep lives in `rsmbench -exp t2,f2,f5`.
+bench-snapshot:
+	$(GO) test -run '^$$' -bench SnapshotTransfer -benchtime 1x .
+	$(GO) test -run '^$$' -bench ForkVsSnapshot -benchtime 2s ./internal/statemachine/
 
 vet:
 	$(GO) vet ./...

@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -32,6 +33,7 @@ func run() int {
 		dur     = flag.Duration("dur", 2*time.Second, "load duration per run")
 		clients = flag.Int("clients", 4, "closed-loop client count")
 		seed    = flag.Int64("seed", 1, "nemesis schedule seed (lin experiment)")
+		cpuProf = flag.String("pprof", "", "write a CPU profile covering the selected experiments to this file")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -39,6 +41,21 @@ func run() int {
 		// `rsmbench -exp t1d`) would otherwise silently run the full suite.
 		fmt.Fprintf(os.Stderr, "unexpected argument %q (use -exp %s)\n", flag.Arg(0), flag.Arg(0))
 		return 2
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pprof: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "pprof: %v\n", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			_ = f.Close()
+		}()
 	}
 
 	tun := harness.DefaultTuning()
@@ -83,13 +100,26 @@ func runOne(id string, tun harness.Tuning, dur time.Duration, clients int, seed 
 		}
 	case "t2":
 		var results []harness.DisruptionResult
-		for _, size := range []int{16 << 10, 256 << 10, 1 << 20} {
+		sizes := []int{16 << 10, 256 << 10, 1 << 20, 8 << 20}
+		harness.WarmHeap(tun, sizes[len(sizes)-1])
+		for _, size := range sizes {
 			for _, kind := range allSystems {
 				res, err := harness.RunDisruptionMedian(kind, tun, dur, clients, size)
 				if err != nil {
 					return err
 				}
 				results = append(results, res)
+				if kind == harness.Composed {
+					// Monolithic-transfer ablation row: same system, the
+					// pre-chunking wedge and single-shot fetch.
+					mt := tun
+					mt.Mono = true
+					res, err := harness.RunDisruptionMedian(kind, mt, dur, clients, size)
+					if err != nil {
+						return err
+					}
+					results = append(results, res)
+				}
 			}
 		}
 		fmt.Print(harness.RenderDisruptionTable(results))
@@ -135,13 +165,24 @@ func runOne(id string, tun harness.Tuning, dur time.Duration, clients int, seed 
 		fmt.Print(harness.RenderLatencyTable(results))
 	case "f5":
 		var results []harness.DisruptionResult
-		for _, size := range []int{8 << 10, 512 << 10, 4 << 20} {
+		f5sizes := []int{8 << 10, 512 << 10, 4 << 20}
+		harness.WarmHeap(tun, f5sizes[len(f5sizes)-1])
+		for _, size := range f5sizes {
 			for _, kind := range []harness.SystemKind{harness.Composed, harness.Inband} {
 				res, err := harness.RunDisruptionMedian(kind, tun, dur, clients, size)
 				if err != nil {
 					return err
 				}
 				results = append(results, res)
+				if kind == harness.Composed {
+					mt := tun
+					mt.Mono = true
+					res, err := harness.RunDisruptionMedian(kind, mt, dur, clients, size)
+					if err != nil {
+						return err
+					}
+					results = append(results, res)
+				}
 			}
 		}
 		fmt.Print(harness.RenderCrossover(results))

@@ -76,13 +76,18 @@ type Deployment interface {
 
 // Tuning holds the timing shared by every deployment in an experiment.
 type Tuning struct {
-	Net      transport.Options
-	Tick     time.Duration
-	Retry    time.Duration
-	Alpha    int  // inband only
-	SpecOff  bool // composed only: disable speculative engine start
-	MaxDepth int  // paxos pipeline depth (0 = default)
-	Batch    int  // paxos commands per slot (0 = default; A1 ablation)
+	Net     transport.Options
+	Tick    time.Duration
+	Retry   time.Duration
+	Alpha   int  // inband only
+	SpecOff bool // composed only: disable speculative engine start
+	// Mono restores the pre-chunking monolithic state transfer on the
+	// composed system (serialize-under-lock wedge, single-shot snapshot
+	// fetch) — the ablation baseline the chunked transfer is measured
+	// against.
+	Mono     bool
+	MaxDepth int // paxos pipeline depth (0 = default)
+	Batch    int // paxos commands per slot (0 = default; A1 ablation)
 
 	// Reads selects the composed system's read-serving mode (log, read-index
 	// or leases); 0 keeps the reconfig default (read-index).
@@ -263,6 +268,7 @@ func newComposed(t Tuning, factory statemachine.Factory, initial, spares []types
 		StaleJumpTicks:     15,
 		GossipTicks:        20,
 		DisableSpeculation: t.SpecOff,
+		MonolithicTransfer: t.Mono,
 		Reads:              t.Reads,
 		LeaseTicks:         t.LeaseTicks,
 	}
@@ -403,6 +409,42 @@ func (d *composedDep) ReadStats() (fast, fallback, fenced, dropped int64) {
 		dropped += st.DroppedInbound
 	}
 	return fast, fallback, fenced, dropped
+}
+
+// TransferStats aggregates the state-transfer counters over a deployment:
+// how many chunks moved, how many failed CRC, and the worst time any node
+// held its mutex capturing state at a wedge.
+type TransferStats struct {
+	SnapshotsFetched int64
+	ChunksFetched    int64
+	ChunksServed     int64
+	ChunkCRCRejected int64
+	MaxWedgeCapture  time.Duration // max over nodes of the last wedge's capture
+}
+
+// TransferStats sums the chunked-transfer counters over all nodes.
+func (d *composedDep) TransferStats() TransferStats {
+	d.mu.Lock()
+	nodes := make([]*reconfig.Node, 0, len(d.nodes))
+	for _, n := range d.nodes {
+		nodes = append(nodes, n)
+	}
+	d.mu.Unlock()
+	var out TransferStats
+	for _, n := range nodes {
+		if n == nil {
+			continue
+		}
+		st := n.Stats()
+		out.SnapshotsFetched += st.SnapshotsFetched
+		out.ChunksFetched += st.ChunksFetched
+		out.ChunksServed += st.ChunksServed
+		out.ChunkCRCRejected += st.ChunkCRCRejected
+		if d := time.Duration(st.WedgeCaptureNS); d > out.MaxWedgeCapture {
+			out.MaxWedgeCapture = d
+		}
+	}
+	return out
 }
 
 // refreshOrder re-learns the serving member set from any node.

@@ -376,6 +376,8 @@ type DisruptionResult struct {
 	StateKeys     int
 	ApproxStateB  int
 	ViolationsSum int64
+	Mono          bool          // composed only: monolithic-transfer ablation
+	Transfer      TransferStats // composed only: chunk counters + wedge capture
 }
 
 // RunDisruption runs one system through: warm-up, optional preload, steady
@@ -383,6 +385,24 @@ type DisruptionResult struct {
 func RunDisruption(kind SystemKind, tuning Tuning, dur time.Duration, clients, stateBytes int) (DisruptionResult, error) {
 	return RunDisruptionTo(kind, tuning, dur, clients, stateBytes,
 		[]types.NodeID{"s1"}, []types.NodeID{"n1", "n2", "s1"})
+}
+
+// WarmHeap runs one throwaway disruption at the given state size and
+// discards the result. The first multi-megabyte scenario in a process pays a
+// one-time heap-growth/page-zeroing stall (hundreds of milliseconds at 8MB,
+// and it persists under GOGC=off, so it is not collector pacing) that would
+// otherwise land on whichever variant happens to run first in a sweep.
+// Both transfer paths are warmed: the monolithic path's contiguous
+// state-size buffer needs its own first-touch pass.
+func WarmHeap(tuning Tuning, stateBytes int) {
+	if stateBytes < 1<<20 {
+		return
+	}
+	for _, mono := range []bool{false, true} {
+		t := tuning
+		t.Mono = mono
+		_, _ = RunDisruption(Composed, t, 500*time.Millisecond, 2, stateBytes)
+	}
 }
 
 // RunDisruptionMedian runs the disruption scenario three times and returns
@@ -463,16 +483,22 @@ func RunDisruptionTo(kind SystemKind, tuning Tuning, dur time.Duration, clients,
 		StateKeys:     keys,
 		ApproxStateB:  stateBytes,
 		ViolationsSum: dep.Violations(),
+		Mono:          tuning.Mono,
+	}
+	if cd, ok := dep.(*composedDep); ok {
+		res.Transfer = cd.TransferStats()
 	}
 	return res, nil
 }
 
 // --- F2: state transfer cost (composed, speculation ablation) ------------------------
 
-// F2Row is one (state size, speculation) measurement of the composed system.
+// F2Row is one (state size, speculation, transfer-mode) measurement of the
+// composed system.
 type F2Row struct {
 	StateBytes   int
 	Speculative  bool
+	Mono         bool // monolithic-transfer ablation (chunked is the default)
 	ReconfigTook time.Duration
 	Gap          time.Duration
 }
@@ -483,24 +509,33 @@ type F2Result struct {
 }
 
 // RunF2StateTransfer sweeps snapshot size for the composed system with and
-// without speculative successor start. The reconfiguration is a FULL
-// replacement — every successor member is brand new — so no replica holds
-// the state locally and the transfer truly gates execution; this is the
-// scenario where speculation (ordering while the snapshot streams) pays.
+// without speculative successor start, plus a monolithic-transfer ablation
+// row per size. The reconfiguration is a FULL replacement — every successor
+// member is brand new — so no replica holds the state locally and the
+// transfer truly gates execution; this is the scenario where speculation
+// (ordering while the snapshot streams) pays and where chunked transfer
+// separates from single-shot fetch.
 func RunF2StateTransfer(tuning Tuning, sizes []int, dur time.Duration, clients int) (F2Result, error) {
 	var res F2Result
 	spares := []types.NodeID{"s1", "s2", "s3"}
+	variants := []struct{ spec, mono bool }{
+		{spec: true, mono: false},
+		{spec: false, mono: false},
+		{spec: true, mono: true},
+	}
 	for _, size := range sizes {
-		for _, spec := range []bool{true, false} {
+		for _, v := range variants {
 			t := tuning
-			t.SpecOff = !spec
+			t.SpecOff = !v.spec
+			t.Mono = v.mono
 			r, err := RunDisruptionTo(Composed, t, dur, clients, size, spares, spares)
 			if err != nil {
-				return res, fmt.Errorf("size %d spec %v: %w", size, spec, err)
+				return res, fmt.Errorf("size %d spec %v mono %v: %w", size, v.spec, v.mono, err)
 			}
 			res.Rows = append(res.Rows, F2Row{
 				StateBytes:   size,
-				Speculative:  spec,
+				Speculative:  v.spec,
+				Mono:         v.mono,
 				ReconfigTook: r.ReconfigTook,
 				Gap:          r.Gap,
 			})

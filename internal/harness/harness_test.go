@@ -240,7 +240,8 @@ func TestRunF2FullReplacementSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Rows) != 2 {
+	// Three variants per size: chunked spec-on, chunked spec-off, mono.
+	if len(res.Rows) != 3 {
 		t.Fatalf("rows %d", len(res.Rows))
 	}
 	for _, row := range res.Rows {

@@ -118,16 +118,29 @@ func (r T1DurableResult) Render() string {
 		renderTable([]string{"backend", "sync", "ops/s", "p50", "p99"}, rows)
 }
 
+// sysLabel names one disruption run's system, marking the composed
+// monolithic-transfer ablation.
+func sysLabel(r DisruptionResult) string {
+	if r.Mono {
+		return r.System.String() + "/mono"
+	}
+	return r.System.String()
+}
+
 // Render formats one disruption run as a figure-with-caption block.
 func (r DisruptionResult) Render() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%s: member swap at bin %d (bin=%s)\n", r.System, r.MarkBin, r.Bin)
+	fmt.Fprintf(&b, "%s: member swap at bin %d (bin=%s)\n", sysLabel(r), r.MarkBin, r.Bin)
 	fmt.Fprintf(&b, "  throughput series: %s\n", sparkline(r.Series, 72))
 	fmt.Fprintf(&b, "  reconfig took %s; longest commit gap %s; retries %d\n",
 		fmtDur(r.ReconfigTook), fmtDur(r.Gap), r.Retries)
 	fmt.Fprintf(&b, "  latency steady [%s]  during reconfig [%s]\n", fmtLat(r.SteadyLat), fmtLat(r.DisruptLat))
 	if r.StateKeys > 0 {
 		fmt.Fprintf(&b, "  preloaded state: ~%d bytes (%d keys)\n", r.ApproxStateB, r.StateKeys)
+	}
+	if t := r.Transfer; t.ChunksFetched > 0 || t.MaxWedgeCapture > 0 {
+		fmt.Fprintf(&b, "  transfer: %d chunks fetched (%d crc-rejected), wedge capture %s\n",
+			t.ChunksFetched, t.ChunkCRCRejected, fmtDur(t.MaxWedgeCapture))
 	}
 	return b.String()
 }
@@ -137,16 +150,18 @@ func RenderDisruptionTable(results []DisruptionResult) string {
 	rows := make([][]string, 0, len(results))
 	for _, r := range results {
 		rows = append(rows, []string{
-			r.System.String(),
+			sysLabel(r),
 			fmt.Sprintf("%d", r.ApproxStateB),
 			fmtDur(r.ReconfigTook),
 			fmtDur(r.Gap),
 			fmt.Sprintf("%.0f", r.Throughput),
 			fmt.Sprintf("%d", r.Retries),
+			fmt.Sprintf("%d", r.Transfer.ChunksFetched),
+			fmtDur(r.Transfer.MaxWedgeCapture),
 		})
 	}
 	return "T2: reconfiguration disruption (member swap under load)\n" +
-		renderTable([]string{"system", "state(B)", "reconfig", "max-gap", "ops/s", "retries"}, rows)
+		renderTable([]string{"system", "state(B)", "reconfig", "max-gap", "ops/s", "retries", "chunks", "wedge-cap"}, rows)
 }
 
 // RenderLatencyTable formats disruption runs as the T5 latency table.
@@ -171,15 +186,20 @@ func (r F2Result) Render() string {
 		if !row.Speculative {
 			spec = "off"
 		}
+		xfer := "chunked"
+		if row.Mono {
+			xfer = "mono"
+		}
 		rows = append(rows, []string{
 			fmt.Sprintf("%d", row.StateBytes),
 			spec,
+			xfer,
 			fmtDur(row.ReconfigTook),
 			fmtDur(row.Gap),
 		})
 	}
-	return "F2: composed reconfiguration latency vs state size (speculation ablation)\n" +
-		renderTable([]string{"state(B)", "speculative", "reconfig", "max-gap"}, rows)
+	return "F2: composed reconfiguration latency vs state size (speculation + transfer ablations)\n" +
+		renderTable([]string{"state(B)", "speculative", "transfer", "reconfig", "max-gap"}, rows)
 }
 
 // Render formats the T3 failover measurement.
@@ -242,7 +262,7 @@ func RenderCrossover(results []DisruptionResult) string {
 	for _, r := range results {
 		rows = append(rows, []string{
 			fmt.Sprintf("%d", r.ApproxStateB),
-			r.System.String(),
+			sysLabel(r),
 			fmtDur(r.Gap),
 			fmtDur(r.ReconfigTook),
 		})

@@ -1,7 +1,6 @@
 package reconfig
 
 import (
-	"repro/internal/statemachine"
 	"repro/internal/types"
 )
 
@@ -177,10 +176,10 @@ func (n *Node) applyReconfigLocked(slot types.Slot, cmd types.Command) {
 	n.stats.wedges++
 
 	// The machine state at the wedge IS the successor's initial state.
-	snap := n.machine.Snapshot()
-	if err := n.store.Set(snapKey(newCfg.ID), snap); err != nil {
-		n.stats.violations++
-	}
+	// Capture it as a copy-on-write fork (O(shards) under n.mu) and let a
+	// background goroutine serialize, serve and persist it in chunks; the
+	// monolithic ablation serializes synchronously here instead.
+	n.captureSnapshotLocked(newCfg.ID)
 
 	// Let the old engine linger for laggards, then stop it.
 	if run, ok := n.engines[rec.From]; ok {
@@ -201,7 +200,7 @@ func (n *Node) applyReconfigLocked(slot types.Slot, cmd types.Command) {
 			n.stats.violations++
 		}
 		// initialized stays true: machine == initial state of newCfg.
-		n.resubmitPendingLocked()
+		n.resubmitPendingLocked(true)
 	} else {
 		// We are retired. Redirect every waiting client to the new
 		// configuration and stop executing.
@@ -223,21 +222,35 @@ func (n *Node) announceLocked(rec ChainRecord) {
 	}
 }
 
-// resubmitPendingLocked re-proposes every pending command into the current
-// configuration's engine. Session dedup makes duplicates harmless.
-func (n *Node) resubmitPendingLocked() {
+// resubmitPendingLocked re-proposes pending commands into the current
+// configuration's engine. Session dedup makes duplicates harmless. Each
+// command backs off exponentially (with jitter) across housekeeping ticks so
+// a stalled configuration is not hammered every tick; force resets the
+// backoff and re-proposes everything immediately — used on configuration
+// transitions, where the fresh engine deserves an instant try.
+func (n *Node) resubmitPendingLocked(force bool) {
 	run, ok := n.engines[n.curID]
 	if !ok {
 		return
 	}
 	for key, p := range n.pending {
+		if force {
+			p.backoff = 0
+		} else if n.tick < p.nextRetry {
+			continue
+		}
 		p.tries++
 		if p.tries > n.opts.PendingMaxRetries {
 			delete(n.pending, key)
 			continue
 		}
 		n.stats.resubmits++
-		_ = run.eng.Propose(p.cmd) // best effort; next tick retries
+		_ = run.eng.Propose(p.cmd) // best effort; a later tick retries
+		step := int64(1) << p.backoff
+		if p.backoff < 4 { // cap at 16 ticks between re-proposals
+			p.backoff++
+		}
+		p.nextRetry = n.tick + step + n.rng.Int63n(step+1)
 	}
 }
 
@@ -255,33 +268,4 @@ func (n *Node) redirectAllPendingLocked() {
 		}
 		delete(n.pending, key)
 	}
-}
-
-// installSnapshot adopts a fetched snapshot as the initial state of config
-// id. It is a no-op if the node has moved past id or is already initialized.
-func (n *Node) installSnapshot(id types.ConfigID, snap []byte) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.fetching = false
-	if n.curID != id || n.initialized {
-		return
-	}
-	fresh := statemachine.NewSessioned(n.factory())
-	if err := fresh.Restore(snap); err != nil {
-		n.stats.violations++
-		return
-	}
-	if err := n.store.Set(snapKey(id), snap); err != nil {
-		n.stats.violations++
-	}
-	n.machine = fresh
-	n.initialized = true
-	n.appliedSlot = 0
-	n.stats.snapshotsFetched++
-	if err := n.ensureEngineLocked(id); err != nil {
-		n.stats.violations++
-	}
-	n.resubmitPendingLocked()
-	n.notifyTransitionLocked()
-	n.pumpLocked()
 }

@@ -1,0 +1,47 @@
+package reconfig
+
+import (
+	"math/rand"
+	"time"
+)
+
+// backoffDelay computes the sleep before retry number attempt (1-based):
+// exponential doubling from base, capped at max, with ±25% jitter drawn from
+// rng so retry storms from nodes that failed together decorrelate. A nil rng
+// yields the deterministic midpoint (used by the schedule-pinning test).
+func backoffDelay(attempt int, base, max time.Duration, rng *rand.Rand) time.Duration {
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := base
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if max > 0 && d >= max {
+			d = max
+			break
+		}
+	}
+	if max > 0 && d > max {
+		d = max
+	}
+	if rng != nil {
+		if q := int64(d) / 4; q > 0 {
+			d += time.Duration(rng.Int63n(2*q+1) - q)
+		}
+	}
+	return d
+}
+
+// seedFor derives a stable per-node rng seed (FNV-1a over the node ID) so
+// jitter differs across nodes but a node's schedule is reproducible.
+func seedFor(id string) int64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= 1099511628211
+	}
+	return int64(h & (1<<62 - 1))
+}

@@ -32,14 +32,19 @@ const (
 	opSubmitReply uint8 = 2
 	opLocate      uint8 = 3
 	opLocateReply uint8 = 4
-	opXfer        uint8 = 5
-	opXferReply   uint8 = 6
-	opAnnounce    uint8 = 7
-	opAnnounceAck uint8 = 8
-	opReconfig    uint8 = 9
-	opReconfReply uint8 = 10
-	opChain       uint8 = 11
-	opChainReply  uint8 = 12
+	// 5 and 6 were the retired monolithic snapshot transfer (opXfer /
+	// opXferReply); the codes stay reserved so mixed-version traffic is
+	// recognizably stale instead of misparsed.
+	opAnnounce       uint8 = 7
+	opAnnounceAck    uint8 = 8
+	opReconfig       uint8 = 9
+	opReconfReply    uint8 = 10
+	opChain          uint8 = 11
+	opChainReply     uint8 = 12
+	opSnapMeta       uint8 = 13
+	opSnapMetaReply  uint8 = 14
+	opSnapChunk      uint8 = 15
+	opSnapChunkReply uint8 = 16
 )
 
 // SubmitStatus describes the outcome of a submit RPC.
@@ -213,45 +218,142 @@ func decodeLocateReply(buf []byte) (locateReply, error) {
 }
 
 // --- state transfer ----------------------------------------------------------
+//
+// A snapshot moves as a manifest (format byte + per-chunk CRC32-C list)
+// followed by range-requested chunks. The manifest is the unit of agreement:
+// every member of the wedged configuration computes a byte-identical chunk
+// sequence, so a joiner can verify chunks pulled from any mix of sources
+// against one manifest and resume after a crash from whatever chunks it
+// already persisted. Because control-plane dispatch is serialized per
+// endpoint, round trips — not bytes — dominate transfer latency under load;
+// both replies therefore carry as many chunks as fit in a byte budget: the
+// manifest reply piggybacks the leading chunks (one round trip fetches a
+// small snapshot outright) and a chunk request names a contiguous range.
 
-type xferReq struct {
+type snapMetaReq struct {
 	Config types.ConfigID // requesting the initial snapshot OF this config
 }
 
-func encodeXfer(m xferReq) []byte {
+func encodeSnapMeta(m snapMetaReq) []byte {
 	w := types.NewWriter(12)
-	w.Byte(opXfer)
+	w.Byte(opSnapMeta)
 	w.Uvarint(uint64(m.Config))
 	return w.Bytes()
 }
 
-type xferReply struct {
-	Found    bool
-	Snapshot []byte
-	Config   types.Config // the config whose initial state this is
+type snapMetaReply struct {
+	Found  bool
+	Format byte     // statemachine.SnapshotFormat*
+	CRCs   []uint32 // CRC32-C per chunk; len is the chunk count
+	Chunks [][]byte // leading chunks 0..len-1, within the range byte budget
 }
 
-func encodeXferReply(m xferReply) []byte {
-	w := types.NewWriter(24 + len(m.Snapshot) + 12*len(m.Config.Members))
-	w.Byte(opXferReply)
+func encodeSnapMetaReply(m snapMetaReply) []byte {
+	sz := 8 + 5*len(m.CRCs)
+	for _, c := range m.Chunks {
+		sz += 8 + len(c)
+	}
+	w := types.NewWriter(sz)
+	w.Byte(opSnapMetaReply)
 	w.Bool(m.Found)
-	w.BytesField(m.Snapshot)
-	m.Config.Encode(w)
+	w.Byte(m.Format)
+	w.Uvarint(uint64(len(m.CRCs)))
+	for _, c := range m.CRCs {
+		w.Uvarint(uint64(c))
+	}
+	w.Uvarint(uint64(len(m.Chunks)))
+	for _, c := range m.Chunks {
+		w.BytesField(c)
+	}
 	return w.Bytes()
 }
 
-func decodeXferReply(buf []byte) (xferReply, error) {
-	if len(buf) == 0 || buf[0] != opXferReply {
-		return xferReply{}, fmt.Errorf("%w: not a xfer reply", types.ErrCodec)
+func decodeSnapMetaReply(buf []byte) (snapMetaReply, error) {
+	if len(buf) == 0 || buf[0] != opSnapMetaReply {
+		return snapMetaReply{}, fmt.Errorf("%w: not a snap-meta reply", types.ErrCodec)
 	}
 	r := types.NewReader(buf[1:])
-	m := xferReply{
-		Found:    r.Bool(),
-		Snapshot: r.BytesField(),
-		Config:   types.DecodeConfigFrom(r),
+	m := snapMetaReply{
+		Found:  r.Bool(),
+		Format: r.Byte(),
+	}
+	cnt := r.Uvarint()
+	if r.Err() == nil && cnt > uint64(r.Remaining()) {
+		return snapMetaReply{}, fmt.Errorf("%w: snap-meta chunk count", types.ErrCodec)
+	}
+	m.CRCs = make([]uint32, 0, cnt)
+	for i := uint64(0); i < cnt; i++ {
+		m.CRCs = append(m.CRCs, uint32(r.Uvarint()))
+	}
+	nc := r.Uvarint()
+	if r.Err() == nil && (nc > uint64(len(m.CRCs)) || nc > uint64(r.Remaining())) {
+		return snapMetaReply{}, fmt.Errorf("%w: snap-meta piggyback count", types.ErrCodec)
+	}
+	for i := uint64(0); i < nc && r.Err() == nil; i++ {
+		m.Chunks = append(m.Chunks, r.BytesField())
 	}
 	if err := r.Err(); err != nil {
-		return xferReply{}, fmt.Errorf("xfer reply: %w", err)
+		return snapMetaReply{}, fmt.Errorf("snap-meta reply: %w", err)
+	}
+	if r.Remaining() != 0 {
+		return snapMetaReply{}, fmt.Errorf("%w: trailing bytes in snap-meta reply", types.ErrCodec)
+	}
+	return m, nil
+}
+
+type snapChunkReq struct {
+	Config types.ConfigID
+	First  int // first chunk index wanted
+	Count  int // how many consecutive chunks (the reply may return fewer)
+}
+
+func encodeSnapChunk(m snapChunkReq) []byte {
+	w := types.NewWriter(20)
+	w.Byte(opSnapChunk)
+	w.Uvarint(uint64(m.Config))
+	w.Uvarint(uint64(m.First))
+	w.Uvarint(uint64(m.Count))
+	return w.Bytes()
+}
+
+// snapChunkReply carries consecutive chunks starting at the requested First;
+// empty means the source has nothing there.
+type snapChunkReply struct {
+	Chunks [][]byte
+}
+
+func encodeSnapChunkReply(m snapChunkReply) []byte {
+	sz := 8
+	for _, c := range m.Chunks {
+		sz += 8 + len(c)
+	}
+	w := types.NewWriter(sz)
+	w.Byte(opSnapChunkReply)
+	w.Uvarint(uint64(len(m.Chunks)))
+	for _, c := range m.Chunks {
+		w.BytesField(c)
+	}
+	return w.Bytes()
+}
+
+func decodeSnapChunkReply(buf []byte) (snapChunkReply, error) {
+	if len(buf) == 0 || buf[0] != opSnapChunkReply {
+		return snapChunkReply{}, fmt.Errorf("%w: not a snap-chunk reply", types.ErrCodec)
+	}
+	r := types.NewReader(buf[1:])
+	var m snapChunkReply
+	cnt := r.Uvarint()
+	if r.Err() == nil && cnt > uint64(r.Remaining()) {
+		return snapChunkReply{}, fmt.Errorf("%w: snap-chunk count", types.ErrCodec)
+	}
+	for i := uint64(0); i < cnt && r.Err() == nil; i++ {
+		m.Chunks = append(m.Chunks, r.BytesField())
+	}
+	if err := r.Err(); err != nil {
+		return snapChunkReply{}, fmt.Errorf("snap-chunk reply: %w", err)
+	}
+	if r.Remaining() != 0 {
+		return snapChunkReply{}, fmt.Errorf("%w: trailing bytes in snap-chunk reply", types.ErrCodec)
 	}
 	return m, nil
 }

@@ -138,22 +138,63 @@ func FuzzDecodeChainRecord(f *testing.F) {
 	})
 }
 
-func FuzzDecodeXferReply(f *testing.F) {
-	f.Add(encodeXferReply(xferReply{Found: true, Snapshot: []byte("snap"), Config: types.MustConfig(2, "a", "b")}))
-	f.Add(encodeXferReply(xferReply{}))
+func FuzzDecodeSnapMetaReply(f *testing.F) {
+	f.Add(encodeSnapMetaReply(snapMetaReply{
+		Found:  true,
+		Format: 1,
+		CRCs:   []uint32{0xdeadbeef, 0, 42},
+		Chunks: [][]byte{[]byte("c0"), []byte("c1")},
+	}))
+	f.Add(encodeSnapMetaReply(snapMetaReply{}))
 	f.Add([]byte{})
+	f.Add([]byte{byte(opSnapMetaReply), 0x01, 0x01, 0xff})
 	f.Fuzz(func(t *testing.T, data []byte) {
-		rep, err := decodeXferReply(data)
+		rep, err := decodeSnapMetaReply(data)
 		if err != nil {
 			return
 		}
-		again, err := decodeXferReply(encodeXferReply(rep))
+		again, err := decodeSnapMetaReply(encodeSnapMetaReply(rep))
 		if err != nil {
 			t.Fatalf("re-decode failed: %v", err)
 		}
-		if again.Found != rep.Found || string(again.Snapshot) != string(rep.Snapshot) ||
-			!again.Config.Equal(rep.Config) {
+		if again.Found != rep.Found || again.Format != rep.Format ||
+			len(again.CRCs) != len(rep.CRCs) || len(again.Chunks) != len(rep.Chunks) {
 			t.Fatalf("round trip changed: %+v -> %+v", rep, again)
+		}
+		for i := range rep.CRCs {
+			if again.CRCs[i] != rep.CRCs[i] {
+				t.Fatalf("round trip changed CRC %d", i)
+			}
+		}
+		for i := range rep.Chunks {
+			if string(again.Chunks[i]) != string(rep.Chunks[i]) {
+				t.Fatalf("round trip changed chunk %d", i)
+			}
+		}
+	})
+}
+
+func FuzzDecodeSnapChunkReply(f *testing.F) {
+	f.Add(encodeSnapChunkReply(snapChunkReply{Chunks: [][]byte{[]byte("chunk-bytes"), nil, []byte("x")}}))
+	f.Add(encodeSnapChunkReply(snapChunkReply{}))
+	f.Add([]byte{})
+	f.Add([]byte{byte(opSnapChunkReply), 0x01, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rep, err := decodeSnapChunkReply(data)
+		if err != nil {
+			return
+		}
+		again, err := decodeSnapChunkReply(encodeSnapChunkReply(rep))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if len(again.Chunks) != len(rep.Chunks) {
+			t.Fatalf("round trip changed: %+v -> %+v", rep, again)
+		}
+		for i := range rep.Chunks {
+			if string(again.Chunks[i]) != string(rep.Chunks[i]) {
+				t.Fatalf("round trip changed chunk %d", i)
+			}
 		}
 	})
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 
@@ -59,6 +60,11 @@ type Options struct {
 	// from pre-wedge state. Exists only so tests and the ablation can
 	// demonstrate that the fence is load-bearing.
 	DisableReadFence bool
+	// MonolithicTransfer restores the pre-chunking state transfer for
+	// comparison experiments: the wedge serializes and persists the whole
+	// machine synchronously under the node mutex, and joiners pull the
+	// snapshot as a single chunk. The paper's design keeps it false.
+	MonolithicTransfer bool
 }
 
 // ReadMode selects the serving strategy for read-only ops. Values start at 1
@@ -145,6 +151,11 @@ type pendingCmd struct {
 	cmd        types.Command
 	responders []func(resp []byte)
 	tries      int
+	// Exponential re-proposal backoff: skip housekeeping re-proposals
+	// until tick nextRetry; backoff is the current exponent. Reset on
+	// configuration transitions so a fresh engine is tried immediately.
+	nextRetry int64
+	backoff   uint8
 }
 
 type engineRun struct {
@@ -166,8 +177,13 @@ type NodeStats struct {
 	Duplicates          int64 // commands recognized as duplicates
 	Wedges              int64 // reconfigurations executed through own log
 	StaleJumps          int64 // transitions adopted via announce + transfer
-	SnapshotsServed     int64
-	SnapshotsFetched    int64
+	SnapshotsServed     int64 // snapshot manifests served to joiners
+	SnapshotsFetched    int64 // snapshots fully fetched and installed
+	ChunksServed        int64 // snapshot chunks served to joiners
+	ChunksFetched       int64 // snapshot chunks fetched and CRC-verified
+	ChunkRetries        int64 // fruitless fetch rounds (waited out with backoff)
+	ChunkCRCRejected    int64 // fetched chunks discarded on CRC mismatch
+	WedgeCaptureNS      int64 // time n.mu was held capturing state at the last wedge
 	Resubmits           int64 // pending command re-proposals
 	InvariantViolations int64
 	FastReads           int64 // reads served via the fast path (no log append)
@@ -201,10 +217,18 @@ type Node struct {
 	readWaiters []*readWaiter   // fast-path reads awaiting their index
 	cfgWaiters  []chan struct{} // signaled (closed) on every transition
 	fetching    bool
+	serving     map[types.ConfigID]*snapServing // snapshots being published
+	tick        int64                           // housekeeping tick counter
+	rng         *rand.Rand                      // jitter source, guarded by mu
 	staleTicks  int
 	gossipLeft  int
 	gossipSeq   int
 	stopped     bool
+
+	// testChunkHook, when set by a test (same package), intercepts every
+	// chunk this node serves: returning modified bytes simulates wire
+	// corruption. Guarded by mu.
+	testChunkHook func(id types.ConfigID, idx int, data []byte) []byte
 
 	applyCh    chan taggedDecision
 	stopCh     chan struct{}
@@ -216,6 +240,9 @@ type Node struct {
 	stats struct {
 		applied, duplicates, wedges, staleJumps int64
 		snapshotsServed, snapshotsFetched       int64
+		chunksServed, chunksFetched             int64
+		chunkRetries, chunkCRCRejected          int64
+		wedgeCaptureNS                          int64
 		resubmits, violations                   int64
 	}
 	reads stats.ReadPathCounters
@@ -238,6 +265,8 @@ func NewNode(nc NodeConfig) (*Node, error) {
 		chain:      make(map[types.ConfigID]ChainRecord),
 		engines:    make(map[types.ConfigID]*engineRun),
 		pending:    make(map[pendKey]*pendingCmd),
+		serving:    make(map[types.ConfigID]*snapServing),
+		rng:        rand.New(rand.NewSource(seedFor(string(nc.Self)))),
 		applyCh:    make(chan taggedDecision, 8192),
 		stopCh:     make(chan struct{}),
 		baseCtx:    ctx,
@@ -272,10 +301,9 @@ func (n *Node) Bootstrap(initial types.Config) error {
 		return err
 	}
 	empty := statemachine.NewSessioned(n.factory())
-	return n.store.Set(snapKey(initial.ID), empty.Snapshot())
+	return captureToStore(n.store, snapPrefix(initial.ID), empty.ForkSnapshot())
 }
 
-func snapKey(id types.ConfigID) string { return fmt.Sprintf("rc/snap/%020d", uint64(id)) }
 func chainKey(id types.ConfigID) string {
 	return fmt.Sprintf("rc/chain/%020d", uint64(id))
 }
@@ -323,18 +351,22 @@ func (n *Node) Start() error {
 	}
 
 	// Recover the machine from the current configuration's initial
-	// snapshot; the engine's redelivered log replays the rest.
+	// snapshot; the engine's redelivered log replays the rest. A partial
+	// chunk set (crashed mid-transfer) leaves the node uninitialized and
+	// the housekeeping loop resumes the fetch from the persisted chunks.
 	n.machine = statemachine.NewSessioned(n.factory())
-	if snap, ok, err := n.store.Get(snapKey(n.curID)); err != nil {
+	if m, chunks, complete, err := storage.ReadChunked(n.store, snapPrefix(n.curID)); err != nil {
 		return err
-	} else if ok {
-		if err := n.machine.Restore(snap); err != nil {
+	} else if complete && m.Chunks() > 0 {
+		fresh, err := n.buildMachine(m, chunks)
+		if err != nil {
 			return fmt.Errorf("restore snapshot of cfg %d: %w", n.curID, err)
 		}
+		n.machine = fresh
 		n.initialized = true
 	} else {
-		// Crashed before installing the successor's state; the
-		// housekeeping loop re-fetches it.
+		// No snapshot, or crashed before the transfer finished; the
+		// housekeeping loop (re-)fetches the missing chunks.
 		n.initialized = false
 	}
 
@@ -510,6 +542,11 @@ func (n *Node) Stats() NodeStats {
 		StaleJumps:          n.stats.staleJumps,
 		SnapshotsServed:     n.stats.snapshotsServed,
 		SnapshotsFetched:    n.stats.snapshotsFetched,
+		ChunksServed:        n.stats.chunksServed,
+		ChunksFetched:       n.stats.chunksFetched,
+		ChunkRetries:        n.stats.chunkRetries,
+		ChunkCRCRejected:    n.stats.chunkCRCRejected,
+		WedgeCaptureNS:      n.stats.wedgeCaptureNS,
 		Resubmits:           n.stats.resubmits,
 		InvariantViolations: n.stats.violations,
 		FastReads:           fast,

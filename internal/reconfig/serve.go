@@ -30,20 +30,30 @@ func (n *Node) handleRPC(from types.NodeID, req []byte, respond func([]byte)) {
 		}
 		n.mu.Unlock()
 		respond(encodeLocateReply(reply))
-	case opXfer:
+	case opSnapMeta:
 		r := types.NewReader(req[1:])
 		id := types.ConfigID(r.Uvarint())
 		if r.Err() != nil {
 			return
 		}
-		snap, ok, err := n.store.Get(snapKey(id))
-		n.mu.Lock()
-		cfg := n.configs[id]
-		if ok && err == nil {
-			n.stats.snapshotsServed++
+		m, ok := n.snapManifest(id)
+		reply := snapMetaReply{Found: ok, Format: m.Format, CRCs: m.CRCs}
+		if ok {
+			// Piggyback the leading chunks: on a loaded control plane every
+			// round trip pays a full dispatch-queue traversal, so a small
+			// snapshot should transfer in the manifest round trip itself.
+			reply.Chunks = n.snapChunkRange(id, 0, m.Chunks())
 		}
-		n.mu.Unlock()
-		respond(encodeXferReply(xferReply{Found: ok && err == nil, Snapshot: snap, Config: cfg}))
+		respond(encodeSnapMetaReply(reply))
+	case opSnapChunk:
+		r := types.NewReader(req[1:])
+		id := types.ConfigID(r.Uvarint())
+		first := int(r.Uvarint())
+		count := int(r.Uvarint())
+		if r.Err() != nil {
+			return
+		}
+		respond(encodeSnapChunkReply(snapChunkReply{Chunks: n.snapChunkRange(id, first, count)}))
 	case opAnnounce:
 		rec, err := decodeChainRecord(req[1:])
 		if err != nil {
@@ -199,11 +209,29 @@ func (n *Node) advanceToLocked(id types.ConfigID) {
 				n.stats.violations++
 			}
 		}
+		// Start pulling the initial state right away rather than waiting for
+		// the next housekeeping tick — joining latency is downtime.
+		n.maybeStartFetchLocked()
 	} else {
 		n.redirectAllPendingLocked()
 	}
 	n.serveReadyReadsLocked()
 	n.notifyTransitionLocked()
+}
+
+// maybeStartFetchLocked launches the (long-lived, resumable) transfer
+// goroutine if this node needs the current configuration's initial state and
+// is not already fetching. Caller holds n.mu.
+func (n *Node) maybeStartFetchLocked() {
+	if n.initialized || n.fetching || n.stopped || n.curID == 0 {
+		return
+	}
+	if !n.configs[n.curID].IsMember(n.self) {
+		return
+	}
+	n.fetching = true
+	n.wg.Add(1)
+	go n.runFetch(n.curID)
 }
 
 // housekeeping drives retries: pending re-proposals, snapshot fetches, and
@@ -224,11 +252,12 @@ func (n *Node) housekeeping() {
 
 func (n *Node) houseTick() {
 	n.mu.Lock()
+	n.tick++
 	cur := n.configs[n.curID]
 	member := cur.IsMember(n.self)
 
 	if n.initialized && member {
-		n.resubmitPendingLocked()
+		n.resubmitPendingLocked(false)
 	}
 	n.ageReadWaitersLocked()
 
@@ -247,13 +276,10 @@ func (n *Node) houseTick() {
 		n.staleTicks = 0
 	}
 
-	var fetchID types.ConfigID
-	var sources []types.NodeID
-	if !n.initialized && member && !n.fetching && n.curID != 0 {
-		n.fetching = true
-		fetchID = n.curID
-		sources = n.fetchSourcesLocked(fetchID)
-	}
+	// Retry path for the transfer goroutine: the transition paths launch it
+	// immediately, but a fetch that aborted (e.g. the configuration moved on
+	// mid-transfer) is relaunched here.
+	n.maybeStartFetchLocked()
 
 	// Anti-entropy: periodically trade chain knowledge with a random known
 	// peer. This is the repair path for lost announces — a member that
@@ -273,13 +299,6 @@ func (n *Node) houseTick() {
 	}
 	n.mu.Unlock()
 
-	if fetchID != 0 {
-		n.wg.Add(1)
-		go func() {
-			defer n.wg.Done()
-			n.fetchSnapshot(fetchID, sources)
-		}()
-	}
 	if gossipTo != "" {
 		n.wg.Add(1)
 		go func() {
@@ -362,33 +381,6 @@ func (n *Node) fetchSourcesLocked(id types.ConfigID) []types.NodeID {
 	}
 	add(n.configs[id].Members)
 	return out
-}
-
-// fetchSnapshot tries the local store, then each source in turn, and
-// installs the first snapshot found.
-func (n *Node) fetchSnapshot(id types.ConfigID, sources []types.NodeID) {
-	if snap, ok, err := n.store.Get(snapKey(id)); err == nil && ok {
-		n.installSnapshot(id, snap)
-		return
-	}
-	for _, src := range sources {
-		ctx, cancel := context.WithTimeout(n.baseCtx, n.opts.FetchTimeout)
-		resp, err := n.peer.Call(ctx, src, encodeXfer(xferReq{Config: id}), 0)
-		cancel()
-		if err != nil {
-			continue
-		}
-		xr, err := decodeXferReply(resp)
-		if err != nil || !xr.Found {
-			continue
-		}
-		n.installSnapshot(id, xr.Snapshot)
-		return
-	}
-	// Nothing found this round; clear the flag so the next tick retries.
-	n.mu.Lock()
-	n.fetching = false
-	n.mu.Unlock()
 }
 
 // sendAnnounce fires one best-effort announce RPC without blocking the

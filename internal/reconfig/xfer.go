@@ -1,0 +1,557 @@
+package reconfig
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/statemachine"
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+// State transfer, chunked and resumable.
+//
+// Serving side: at the wedge, the node forks a copy-on-write snapshot under
+// n.mu (O(shards), not O(state)) and registers an empty serving entry; a
+// background goroutine serializes the fork into chunks, computes the CRC
+// manifest, publishes it in the in-memory registry (so joiners can fetch
+// before persistence finishes), streams the chunks into the store chunk by
+// chunk, and finally drops the in-memory copy — after which requests are
+// served straight from the store.
+//
+// Fetching side: a joiner pulls the manifest from any source, persists it,
+// then pulls missing chunks concurrently from rotating sources, verifying
+// each against the manifest CRC and persisting it immediately. A chunk that
+// fails its CRC is discarded (and the next source tried) without poisoning
+// anything already installed. After a crash, or when the serving node dies
+// mid-transfer, the fetch resumes from whatever chunks the store already
+// holds. Rounds that make no progress back off exponentially with jitter.
+
+// fetchWorkers is the number of concurrent chunk-range downloads per fetch
+// round.
+const fetchWorkers = 4
+
+// rangeBudget bounds the payload of one chunk-range reply (and of the chunks
+// piggybacked on a manifest reply). Round trips, not bytes, dominate transfer
+// latency on a loaded control plane, so replies are packed up to this budget;
+// a single chunk larger than the budget is still returned alone.
+const rangeBudget = 256 << 10
+
+// publishSnapshot pacing. Every member of the wedged configuration publishes
+// concurrently, so an unpaced serialize burns members × state bytes of CPU at
+// the exact moment the successor engine is electing and re-proposing — at 8MB
+// that burst alone tripled the client-visible commit gap. publishSnapshot
+// therefore pauses after each publishPaceBytes of serialized chunks, breaking
+// the burst into slices small enough not to starve the commit path. Pacing is
+// per byte, not per chunk: a small snapshot (32 near-empty shard chunks) must
+// become ready in microseconds, and time.Sleep granularity can be tens of
+// milliseconds on a loaded host, so per-chunk sleeps would delay readiness by
+// chunks × granularity. The only cost is that the manifest becomes ready
+// later, which delays the joiner (off the commit path, covered by speculative
+// start), not the surviving members.
+const publishPaceBytes = 1 << 20
+
+// publishPause is the pause between publishPaceBytes slices. Nominal 2ms; the
+// effective floor is the scheduler's sleep granularity.
+const publishPause = 2 * time.Millisecond
+
+// snapServing is the in-memory half of the snapshot registry: it exists from
+// the wedge until the chunks are persisted, bridging the window where
+// joiners ask for a snapshot the store does not hold yet.
+type snapServing struct {
+	ready    bool // manifest+chunks are populated
+	manifest storage.ChunkManifest
+	chunks   [][]byte
+}
+
+func snapPrefix(id types.ConfigID) string { return fmt.Sprintf("rc/snap/%020d", uint64(id)) }
+
+// captureSnapshotLocked captures the machine state that becomes config id's
+// initial state and arranges for it to be served and persisted. Caller holds
+// n.mu; only the capture itself (COW fork, or the full serialize in the
+// monolithic ablation) runs under the lock, and its duration is recorded in
+// WedgeCaptureNS.
+func (n *Node) captureSnapshotLocked(id types.ConfigID) {
+	start := time.Now()
+	if n.opts.MonolithicTransfer {
+		// Ablation: the pre-chunking behavior — serialize and persist the
+		// whole state synchronously under the node mutex.
+		snap := n.machine.Snapshot()
+		m := storage.ChunkManifest{
+			Format: statemachine.SnapshotFormatMono,
+			CRCs:   []uint32{storage.ChunkCRC(snap)},
+		}
+		if err := storage.WriteChunked(n.store, snapPrefix(id), m, func(int) []byte { return snap }); err != nil {
+			n.stats.violations++
+		}
+		n.stats.wedgeCaptureNS = time.Since(start).Nanoseconds()
+		return
+	}
+	src := n.machine.ForkSnapshot()
+	n.stats.wedgeCaptureNS = time.Since(start).Nanoseconds()
+	n.serving[id] = &snapServing{}
+	n.wg.Add(1)
+	go n.publishSnapshot(id, src)
+}
+
+// publishSnapshot serializes a forked snapshot off the critical path: chunks
+// and manifest go into the in-memory registry first (serveable immediately),
+// then into the store, then the in-memory copy is dropped.
+func (n *Node) publishSnapshot(id types.ConfigID, src statemachine.SnapshotSource) {
+	defer n.wg.Done()
+	num := src.NumChunks()
+	chunks := make([][]byte, num)
+	m := storage.ChunkManifest{Format: src.Format(), CRCs: make([]uint32, num)}
+	sincePause := 0
+	for i := 0; i < num; i++ {
+		chunks[i] = src.Chunk(i)
+		m.CRCs[i] = storage.ChunkCRC(chunks[i])
+		sincePause += len(chunks[i])
+		if sincePause >= publishPaceBytes {
+			sincePause = 0
+			time.Sleep(publishPause)
+		}
+	}
+	n.mu.Lock()
+	if s, ok := n.serving[id]; ok {
+		s.manifest = m
+		s.chunks = chunks
+		s.ready = true
+	}
+	n.mu.Unlock()
+	err := storage.WriteChunked(n.store, snapPrefix(id), m, func(i int) []byte { return chunks[i] })
+	n.mu.Lock()
+	if err != nil {
+		n.stats.violations++
+	} else {
+		delete(n.serving, id) // persisted; serve from the store from now on
+	}
+	n.mu.Unlock()
+}
+
+// captureToStore persists a snapshot fork directly (bootstrap path: no
+// concurrent mutators, no serving window to bridge).
+func captureToStore(store storage.Store, prefix string, src statemachine.SnapshotSource) error {
+	num := src.NumChunks()
+	m := storage.ChunkManifest{Format: src.Format(), CRCs: make([]uint32, num)}
+	for i := 0; i < num; i++ {
+		m.CRCs[i] = storage.ChunkCRC(src.Chunk(i))
+	}
+	return storage.WriteChunked(store, prefix, m, func(i int) []byte { return src.Chunk(i) })
+}
+
+// snapManifest answers a manifest request from the registry or the store.
+func (n *Node) snapManifest(id types.ConfigID) (storage.ChunkManifest, bool) {
+	n.mu.Lock()
+	if s, ok := n.serving[id]; ok && s.ready {
+		m := s.manifest
+		n.stats.snapshotsServed++
+		n.mu.Unlock()
+		return m, true
+	}
+	n.mu.Unlock()
+	m, ok, err := storage.ReadChunkManifest(n.store, snapPrefix(id))
+	if err != nil || !ok {
+		return storage.ChunkManifest{}, false
+	}
+	n.mu.Lock()
+	n.stats.snapshotsServed++
+	n.mu.Unlock()
+	return m, true
+}
+
+// snapChunkOne answers one chunk request from the registry or the store. A
+// partially fetched joiner serves the chunks it already verified, so a
+// snapshot can be pulled from any mix of current and previous members.
+func (n *Node) snapChunkOne(id types.ConfigID, idx int) ([]byte, bool) {
+	if idx < 0 {
+		return nil, false
+	}
+	n.mu.Lock()
+	var data []byte
+	found := false
+	if s, ok := n.serving[id]; ok && s.ready && idx < len(s.chunks) {
+		data, found = s.chunks[idx], true
+	}
+	hook := n.testChunkHook
+	n.mu.Unlock()
+	if !found {
+		raw, ok, err := n.store.Get(storage.ChunkKey(snapPrefix(id), idx))
+		if err != nil || !ok {
+			return nil, false
+		}
+		data = raw
+	}
+	if hook != nil {
+		data = hook(id, idx, data)
+	}
+	n.mu.Lock()
+	n.stats.chunksServed++
+	n.mu.Unlock()
+	return data, true
+}
+
+// snapChunkRange gathers up to count consecutive chunks starting at first,
+// stopping at the first chunk this node lacks or when the reply would exceed
+// rangeBudget (the first chunk is always included, however large).
+func (n *Node) snapChunkRange(id types.ConfigID, first, count int) [][]byte {
+	if first < 0 || count <= 0 {
+		return nil
+	}
+	var out [][]byte
+	total := 0
+	for i := first; i < first+count; i++ {
+		data, ok := n.snapChunkOne(id, i)
+		if !ok {
+			break
+		}
+		if len(out) > 0 && total+len(data) > rangeBudget {
+			break
+		}
+		out = append(out, data)
+		total += len(data)
+	}
+	return out
+}
+
+// buildMachine constructs a fresh sessioned machine from a complete chunk
+// set (any format).
+func (n *Node) buildMachine(m storage.ChunkManifest, chunks [][]byte) (*statemachine.Sessioned, error) {
+	fresh := statemachine.NewSessioned(n.factory())
+	if m.Format == statemachine.SnapshotFormatMono {
+		if len(chunks) != 1 {
+			return nil, fmt.Errorf("%w: monolithic snapshot with %d chunks", types.ErrCodec, len(chunks))
+		}
+		if err := fresh.Restore(chunks[0]); err != nil {
+			return nil, err
+		}
+		return fresh, nil
+	}
+	if m.Format != fresh.ChunkFormat() {
+		return nil, fmt.Errorf("%w: snapshot format %d, machine expects %d", types.ErrCodec, m.Format, fresh.ChunkFormat())
+	}
+	for i, c := range chunks {
+		if err := fresh.RestoreChunk(i, c); err != nil {
+			return nil, err
+		}
+	}
+	if err := fresh.FinishRestore(len(chunks)); err != nil {
+		return nil, err
+	}
+	return fresh, nil
+}
+
+// fetchAborted reports whether the fetch of id's snapshot is moot.
+func (n *Node) fetchAborted(id types.ConfigID) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stopped || n.curID != id || n.initialized
+}
+
+// runFetch is the joiner's long-lived transfer goroutine: it owns n.fetching
+// for its lifetime and keeps trying — resuming from persisted chunks, backing
+// off with jitter on fruitless rounds — until the snapshot is installed or
+// the node moves on.
+func (n *Node) runFetch(id types.ConfigID) {
+	defer n.wg.Done()
+	defer func() {
+		n.mu.Lock()
+		n.fetching = false
+		n.mu.Unlock()
+	}()
+
+	prefix := snapPrefix(id)
+	rng := rand.New(rand.NewSource(seedFor(string(n.self)) ^ int64(id)))
+
+	// Resume: adopt whatever a previous attempt (possibly before a crash)
+	// already persisted. Corrupt or missing chunks come back nil.
+	var (
+		manifest storage.ChunkManifest
+		chunks   [][]byte
+		have     bool
+	)
+	if m, cs, _, err := storage.ReadChunked(n.store, prefix); err == nil && m.Chunks() > 0 {
+		manifest, chunks, have = m, cs, true
+	}
+
+	attempt := 0
+	for {
+		if n.fetchAborted(id) {
+			return
+		}
+		n.mu.Lock()
+		sources := n.fetchSourcesLocked(id)
+		n.mu.Unlock()
+
+		progress := false
+		if !have {
+			if m, lead, ok := n.fetchManifest(id, sources, rng); ok {
+				manifest = m
+				chunks = make([][]byte, m.Chunks())
+				have = true
+				progress = true
+				if err := storage.WriteChunkManifest(n.store, prefix, m); err != nil {
+					n.countViolation()
+				}
+				// Adopt the chunks piggybacked on the manifest reply; for a
+				// small snapshot that is the whole transfer in one round trip.
+				for i, data := range lead {
+					if i < len(chunks) {
+						n.acceptChunk(prefix, manifest, chunks, nil, i, data)
+					}
+				}
+			}
+		}
+		if have {
+			if n.fetchMissingChunks(id, prefix, manifest, chunks, sources) {
+				progress = true
+			}
+			missing := 0
+			for _, c := range chunks {
+				if c == nil {
+					missing++
+				}
+			}
+			if missing == 0 {
+				n.installChunks(id, manifest, chunks)
+				return
+			}
+		}
+
+		if progress {
+			attempt = 0
+			continue
+		}
+		attempt++
+		n.mu.Lock()
+		n.stats.chunkRetries++
+		n.mu.Unlock()
+		delay := backoffDelay(attempt, n.opts.RetryInterval, 4*n.opts.FetchTimeout, rng)
+		select {
+		case <-time.After(delay):
+		case <-n.stopCh:
+			return
+		}
+	}
+}
+
+// acceptChunk CRC-verifies one fetched chunk; on success it records it in
+// chunks (under resMu when given) and persists it immediately — which is what
+// makes the transfer resumable and the joiner itself a source. Returns
+// whether the chunk was accepted.
+func (n *Node) acceptChunk(prefix string, m storage.ChunkManifest, chunks [][]byte, resMu *sync.Mutex, idx int, data []byte) bool {
+	if storage.ChunkCRC(data) != m.CRCs[idx] {
+		// Corrupt on the wire or a poisoned source: reject this chunk
+		// alone; nothing already verified is touched.
+		n.mu.Lock()
+		n.stats.chunkCRCRejected++
+		n.mu.Unlock()
+		return false
+	}
+	if resMu != nil {
+		resMu.Lock()
+	}
+	chunks[idx] = data
+	if resMu != nil {
+		resMu.Unlock()
+	}
+	if err := n.store.Set(storage.ChunkKey(prefix, idx), data); err != nil {
+		n.countViolation()
+	}
+	n.mu.Lock()
+	n.stats.chunksFetched++
+	n.mu.Unlock()
+	return true
+}
+
+// fetchManifest asks sources (in random order) for the snapshot manifest.
+// The reply also piggybacks the snapshot's leading chunks (within
+// rangeBudget), which the caller adopts after per-chunk CRC verification.
+func (n *Node) fetchManifest(id types.ConfigID, sources []types.NodeID, rng *rand.Rand) (storage.ChunkManifest, [][]byte, bool) {
+	order := rng.Perm(len(sources))
+	for _, i := range order {
+		ctx, cancel := context.WithTimeout(n.baseCtx, n.opts.FetchTimeout)
+		resp, err := n.peer.Call(ctx, sources[i], encodeSnapMeta(snapMetaReq{Config: id}), 0)
+		cancel()
+		if err != nil {
+			continue
+		}
+		mr, err := decodeSnapMetaReply(resp)
+		if err != nil || !mr.Found {
+			continue
+		}
+		return storage.ChunkManifest{Format: mr.Format, CRCs: mr.CRCs}, mr.Chunks, true
+	}
+	return storage.ChunkManifest{}, nil, false
+}
+
+// chunkSpan is a contiguous run of missing chunk indexes assigned to one
+// fetch worker.
+type chunkSpan struct {
+	first, count int
+}
+
+// missingSpans groups the nil entries of chunks into contiguous spans, each
+// capped so the work splits across at least fetchWorkers workers.
+func missingSpans(chunks [][]byte) []chunkSpan {
+	var missing []int
+	for i, c := range chunks {
+		if c == nil {
+			missing = append(missing, i)
+		}
+	}
+	if len(missing) == 0 {
+		return nil
+	}
+	spanCap := (len(missing) + fetchWorkers - 1) / fetchWorkers
+	var spans []chunkSpan
+	cur := chunkSpan{first: missing[0], count: 1}
+	for _, idx := range missing[1:] {
+		if idx == cur.first+cur.count && cur.count < spanCap {
+			cur.count++
+			continue
+		}
+		spans = append(spans, cur)
+		cur = chunkSpan{first: idx, count: 1}
+	}
+	return append(spans, cur)
+}
+
+// fetchMissingChunks pulls every nil entry of chunks concurrently, one
+// contiguous span per request. Each worker starts at a different source and
+// rotates through the rest when a source yields nothing useful, so the load
+// spreads and a dead or corrupt source only costs the spans it was tried
+// for. Returns whether any chunk was fetched.
+func (n *Node) fetchMissingChunks(id types.ConfigID, prefix string, m storage.ChunkManifest, chunks [][]byte, sources []types.NodeID) bool {
+	if len(sources) == 0 {
+		return false
+	}
+	spans := missingSpans(chunks)
+	if len(spans) == 0 {
+		return false
+	}
+	workers := fetchWorkers
+	if workers > len(spans) {
+		workers = len(spans)
+	}
+	spanCh := make(chan chunkSpan)
+	var wg sync.WaitGroup
+	var resMu sync.Mutex
+	progress := false
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for sp := range spanCh {
+				if n.fetchSpan(id, prefix, m, chunks, &resMu, sp, sources, w) {
+					resMu.Lock()
+					progress = true
+					resMu.Unlock()
+				}
+			}
+		}(w)
+	}
+	for _, sp := range spans {
+		if n.fetchAborted(id) {
+			break
+		}
+		spanCh <- sp
+	}
+	close(spanCh)
+	wg.Wait()
+	return progress
+}
+
+// fetchSpan pulls one contiguous span of chunks, advancing through it in
+// range requests and rotating sources whenever one yields nothing usable. A
+// CRC-rejected chunk in the middle of a range leaves a hole that a later
+// round retries (against a rotated source) without re-fetching its verified
+// neighbors.
+func (n *Node) fetchSpan(id types.ConfigID, prefix string, m storage.ChunkManifest, chunks [][]byte, resMu *sync.Mutex, sp chunkSpan, sources []types.NodeID, w int) bool {
+	progress := false
+	idx := sp.first
+	end := sp.first + sp.count
+	for idx < end {
+		if n.fetchAborted(id) {
+			return progress
+		}
+		advanced := false
+		for s := 0; s < len(sources); s++ {
+			src := sources[(w+s)%len(sources)]
+			got := n.fetchChunkRange(id, idx, end-idx, src)
+			if len(got) == 0 {
+				continue
+			}
+			accepted := 0
+			for i, data := range got {
+				if idx+i >= end {
+					break
+				}
+				if n.acceptChunk(prefix, m, chunks, resMu, idx+i, data) {
+					accepted++
+				}
+			}
+			if accepted > 0 {
+				// Move past the whole returned range; rejected chunks in it
+				// stay nil and are retried in a later round.
+				idx += len(got)
+				progress = true
+				advanced = true
+				break
+			}
+		}
+		if !advanced {
+			return progress // no source helped here; back off and retry later
+		}
+	}
+	return progress
+}
+
+func (n *Node) fetchChunkRange(id types.ConfigID, first, count int, src types.NodeID) [][]byte {
+	ctx, cancel := context.WithTimeout(n.baseCtx, n.opts.FetchTimeout)
+	defer cancel()
+	resp, err := n.peer.Call(ctx, src, encodeSnapChunk(snapChunkReq{Config: id, First: first, Count: count}), 0)
+	if err != nil {
+		return nil
+	}
+	cr, err := decodeSnapChunkReply(resp)
+	if err != nil || len(cr.Chunks) > count {
+		return nil
+	}
+	return cr.Chunks
+}
+
+// installChunks adopts a complete, verified chunk set as the initial state of
+// config id. The O(state) machine build happens outside n.mu; the swap is
+// re-validated under the lock.
+func (n *Node) installChunks(id types.ConfigID, m storage.ChunkManifest, chunks [][]byte) {
+	fresh, err := n.buildMachine(m, chunks)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if err != nil {
+		n.stats.violations++
+		return
+	}
+	if n.curID != id || n.initialized || n.stopped {
+		return
+	}
+	n.machine = fresh
+	n.initialized = true
+	n.appliedSlot = 0
+	n.stats.snapshotsFetched++
+	if err := n.ensureEngineLocked(id); err != nil {
+		n.stats.violations++
+	}
+	n.resubmitPendingLocked(true)
+	n.notifyTransitionLocked()
+	n.pumpLocked()
+}
+
+func (n *Node) countViolation() {
+	n.mu.Lock()
+	n.stats.violations++
+	n.mu.Unlock()
+}

@@ -28,15 +28,27 @@ const (
 
 // Bank is a deterministic account-ledger machine whose total balance is
 // conserved by transfers, making double-application of a command across a
-// reconfiguration boundary observable.
+// reconfiguration boundary observable. Accounts are hashed across a fixed
+// set of shards with copy-on-write snapshot forks, like KVStore.
 type Bank struct {
-	accounts map[string]uint64
+	shards [numShards]map[string]uint64
+	shared [numShards]bool
+	size   int
 }
 
-var _ Machine = (*Bank)(nil)
+var (
+	_ Machine            = (*Bank)(nil)
+	_ ChunkedSnapshotter = (*Bank)(nil)
+)
 
 // NewBank returns an empty bank machine.
-func NewBank() *Bank { return &Bank{accounts: make(map[string]uint64)} }
+func NewBank() *Bank {
+	m := &Bank{}
+	for i := range m.shards {
+		m.shards[i] = make(map[string]uint64)
+	}
+	return m
+}
 
 // NewBankMachine is a Factory for Bank.
 func NewBankMachine() Machine { return NewBank() }
@@ -94,6 +106,26 @@ func (m *Bank) ReadOnly(op []byte) bool {
 	}
 }
 
+func (m *Bank) get(acct string) (uint64, bool) {
+	v, ok := m.shards[shardOf(acct)][acct]
+	return v, ok
+}
+
+// mutable returns the shard holding acct, cloning it first if a snapshot
+// fork may still reference it.
+func (m *Bank) mutable(acct string) map[string]uint64 {
+	i := shardOf(acct)
+	if m.shared[i] {
+		clone := make(map[string]uint64, len(m.shards[i]))
+		for k, v := range m.shards[i] {
+			clone[k] = v
+		}
+		m.shards[i] = clone
+		m.shared[i] = false
+	}
+	return m.shards[i]
+}
+
 // Apply implements Machine.
 func (m *Bank) Apply(op []byte) []byte {
 	if len(op) == 0 {
@@ -107,10 +139,11 @@ func (m *Bank) Apply(op []byte) []byte {
 		if r.Err() != nil {
 			return statusReply(StatusBadOp)
 		}
-		if _, ok := m.accounts[acct]; ok {
+		if _, ok := m.get(acct); ok {
 			return statusReply(StatusConflict)
 		}
-		m.accounts[acct] = initial
+		m.mutable(acct)[acct] = initial
+		m.size++
 		return okReply(nil)
 	case BankDeposit:
 		acct := r.String()
@@ -118,11 +151,11 @@ func (m *Bank) Apply(op []byte) []byte {
 		if r.Err() != nil {
 			return statusReply(StatusBadOp)
 		}
-		bal, ok := m.accounts[acct]
+		bal, ok := m.get(acct)
 		if !ok {
 			return statusReply(StatusNotFound)
 		}
-		m.accounts[acct] = bal + amount
+		m.mutable(acct)[acct] = bal + amount
 		return okReply(uvarintBytes(bal + amount))
 	case BankTransfer:
 		from := r.String()
@@ -131,8 +164,8 @@ func (m *Bank) Apply(op []byte) []byte {
 		if r.Err() != nil {
 			return statusReply(StatusBadOp)
 		}
-		fb, fok := m.accounts[from]
-		_, tok := m.accounts[to]
+		fb, fok := m.get(from)
+		_, tok := m.get(to)
 		if !fok || !tok {
 			return statusReply(StatusNotFound)
 		}
@@ -142,42 +175,41 @@ func (m *Bank) Apply(op []byte) []byte {
 		if fb < amount {
 			return statusReply(StatusConflict)
 		}
-		m.accounts[from] = fb - amount
-		m.accounts[to] += amount
+		m.mutable(from)[from] = fb - amount
+		m.mutable(to)[to] += amount
 		return okReply(nil)
 	case BankBalance:
 		acct := r.String()
 		if r.Err() != nil {
 			return statusReply(StatusBadOp)
 		}
-		bal, ok := m.accounts[acct]
+		bal, ok := m.get(acct)
 		if !ok {
 			return statusReply(StatusNotFound)
 		}
 		return okReply(uvarintBytes(bal))
 	case BankTotal:
-		var total uint64
-		for _, b := range m.accounts {
-			total += b
-		}
-		return okReply(uvarintBytes(total))
+		return okReply(uvarintBytes(m.Total()))
 	default:
 		return statusReply(StatusBadOp)
 	}
 }
 
-// Snapshot implements Machine (accounts in sorted order).
+// Snapshot implements Machine (accounts in globally sorted order, matching
+// the pre-sharding byte format).
 func (m *Bank) Snapshot() []byte {
-	names := make([]string, 0, len(m.accounts))
-	for a := range m.accounts {
-		names = append(names, a)
+	names := make([]string, 0, m.size)
+	for i := range m.shards {
+		for a := range m.shards[i] {
+			names = append(names, a)
+		}
 	}
 	sort.Strings(names)
 	w := types.NewWriter(8 + 16*len(names))
 	w.Uvarint(uint64(len(names)))
 	for _, a := range names {
 		w.String(a)
-		w.Uvarint(m.accounts[a])
+		w.Uvarint(m.shards[shardOf(a)][a])
 	}
 	return w.Bytes()
 }
@@ -189,27 +221,107 @@ func (m *Bank) Restore(snapshot []byte) error {
 	if err := r.Err(); err != nil {
 		return fmt.Errorf("bank snapshot header: %w", err)
 	}
-	accounts := make(map[string]uint64, n)
+	var shards [numShards]map[string]uint64
+	for i := range shards {
+		shards[i] = make(map[string]uint64)
+	}
 	for i := uint64(0); i < n; i++ {
 		a := r.String()
 		b := r.Uvarint()
 		if err := r.Err(); err != nil {
 			return fmt.Errorf("bank snapshot entry %d: %w", i, err)
 		}
-		accounts[a] = b
+		shards[shardOf(a)][a] = b
 	}
 	if r.Remaining() != 0 {
 		return fmt.Errorf("%w: %d trailing bytes in bank snapshot", types.ErrCodec, r.Remaining())
 	}
-	m.accounts = accounts
+	m.shards = shards
+	m.shared = [numShards]bool{}
+	m.size = int(n)
+	return nil
+}
+
+// bankFork is a copy-on-write snapshot of a Bank (see kvFork).
+type bankFork struct {
+	shards [numShards]map[string]uint64
+}
+
+// ForkSnapshot implements ChunkedSnapshotter (O(numShards)).
+func (m *Bank) ForkSnapshot() SnapshotSource {
+	f := &bankFork{shards: m.shards}
+	for i := range m.shared {
+		m.shared[i] = true
+	}
+	return f
+}
+
+func (f *bankFork) Format() byte   { return SnapshotFormatShards }
+func (f *bankFork) NumChunks() int { return numShards }
+
+// Chunk serializes shard i: uvarint count, then sorted (account, balance).
+func (f *bankFork) Chunk(i int) []byte {
+	sh := f.shards[i]
+	names := make([]string, 0, len(sh))
+	for a := range sh {
+		names = append(names, a)
+	}
+	sort.Strings(names)
+	w := types.NewWriter(8 + 16*len(names))
+	w.Uvarint(uint64(len(names)))
+	for _, a := range names {
+		w.String(a)
+		w.Uvarint(sh[a])
+	}
+	return w.Bytes()
+}
+
+// RestoreChunk implements ChunkedSnapshotter.
+func (m *Bank) RestoreChunk(index int, data []byte) error {
+	if index < 0 || index >= numShards {
+		return fmt.Errorf("%w: bank chunk index %d out of range", types.ErrCodec, index)
+	}
+	r := types.NewReader(data)
+	n := r.Uvarint()
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("bank chunk %d header: %w", index, err)
+	}
+	sh := make(map[string]uint64, n)
+	for i := uint64(0); i < n; i++ {
+		a := r.String()
+		b := r.Uvarint()
+		if err := r.Err(); err != nil {
+			return fmt.Errorf("bank chunk %d entry %d: %w", index, i, err)
+		}
+		if shardOf(a) != index {
+			return fmt.Errorf("%w: account %q does not belong to bank shard %d", types.ErrCodec, a, index)
+		}
+		sh[a] = b
+	}
+	if r.Remaining() != 0 {
+		return fmt.Errorf("%w: trailing bytes in bank chunk %d", types.ErrCodec, index)
+	}
+	m.size += len(sh) - len(m.shards[index])
+	m.shards[index] = sh
+	m.shared[index] = false
+	return nil
+}
+
+// FinishRestore implements ChunkedSnapshotter.
+func (m *Bank) FinishRestore(total int) error {
+	if total != numShards {
+		return fmt.Errorf("%w: bank chunked snapshot has %d chunks, want %d", types.ErrCodec, total, numShards)
+	}
 	return nil
 }
 
 // Total returns the sum of all balances (test helper, mirrors BankTotal).
 func (m *Bank) Total() uint64 {
 	var total uint64
-	for _, b := range m.accounts {
-		total += b
+	for i := range m.shards {
+		for _, b := range m.shards[i] {
+			total += b
+		}
 	}
 	return total
 }
@@ -228,4 +340,10 @@ func uvarintBytes(v uint64) []byte {
 	w := types.NewWriter(types.UvarintLen(v))
 	w.Uvarint(v)
 	return w.Bytes()
+}
+
+// balance is a test helper returning an account's balance (0 if absent).
+func (m *Bank) balance(acct string) uint64 {
+	v, _ := m.get(acct)
+	return v
 }

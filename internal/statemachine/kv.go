@@ -28,16 +28,32 @@ const (
 	KVSize KVOp = 7
 )
 
-// KVStore is a deterministic in-memory key/value machine.
+// KVStore is a deterministic in-memory key/value machine. Keys are hashed
+// across a fixed set of shards; a snapshot fork captures the shard map
+// references and marks them shared, so the fork is O(shards) and the machine
+// clones a shard lazily on first write after a fork (copy-on-write).
 // The zero value is not usable; construct with NewKVStore.
 type KVStore struct {
-	data map[string][]byte
+	shards [numShards]map[string][]byte
+	// shared[i] means shards[i] may be referenced by an outstanding
+	// snapshot fork and must be cloned before mutation.
+	shared [numShards]bool
+	size   int
 }
 
-var _ Machine = (*KVStore)(nil)
+var (
+	_ Machine            = (*KVStore)(nil)
+	_ ChunkedSnapshotter = (*KVStore)(nil)
+)
 
 // NewKVStore returns an empty key/value machine.
-func NewKVStore() *KVStore { return &KVStore{data: make(map[string][]byte)} }
+func NewKVStore() *KVStore {
+	m := &KVStore{}
+	for i := range m.shards {
+		m.shards[i] = make(map[string][]byte)
+	}
+	return m
+}
 
 // NewKVMachine is a Factory for KVStore.
 func NewKVMachine() Machine { return NewKVStore() }
@@ -112,6 +128,27 @@ func (m *KVStore) ReadOnly(op []byte) bool {
 	}
 }
 
+// get reads a key without triggering a clone.
+func (m *KVStore) get(key string) ([]byte, bool) {
+	v, ok := m.shards[shardOf(key)][key]
+	return v, ok
+}
+
+// mutable returns the shard holding key, cloning it first if a snapshot fork
+// may still reference it.
+func (m *KVStore) mutable(key string) map[string][]byte {
+	i := shardOf(key)
+	if m.shared[i] {
+		clone := make(map[string][]byte, len(m.shards[i]))
+		for k, v := range m.shards[i] {
+			clone[k] = v
+		}
+		m.shards[i] = clone
+		m.shared[i] = false
+	}
+	return m.shards[i]
+}
+
 // Apply implements Machine.
 func (m *KVStore) Apply(op []byte) []byte {
 	if len(op) == 0 {
@@ -125,14 +162,18 @@ func (m *KVStore) Apply(op []byte) []byte {
 		if r.Err() != nil {
 			return statusReply(StatusBadOp)
 		}
-		m.data[key] = val
+		sh := m.mutable(key)
+		if _, ok := sh[key]; !ok {
+			m.size++
+		}
+		sh[key] = val
 		return okReply(nil)
 	case KVGet:
 		key := r.String()
 		if r.Err() != nil {
 			return statusReply(StatusBadOp)
 		}
-		v, ok := m.data[key]
+		v, ok := m.get(key)
 		if !ok {
 			return statusReply(StatusNotFound)
 		}
@@ -142,7 +183,10 @@ func (m *KVStore) Apply(op []byte) []byte {
 		if r.Err() != nil {
 			return statusReply(StatusBadOp)
 		}
-		delete(m.data, key)
+		if _, ok := m.get(key); ok {
+			delete(m.mutable(key), key)
+			m.size--
+		}
 		return okReply(nil)
 	case KVAppend:
 		key := r.String()
@@ -150,11 +194,15 @@ func (m *KVStore) Apply(op []byte) []byte {
 		if r.Err() != nil {
 			return statusReply(StatusBadOp)
 		}
-		cur := m.data[key]
+		sh := m.mutable(key)
+		cur, ok := sh[key]
+		if !ok {
+			m.size++
+		}
 		next := make([]byte, 0, len(cur)+len(suffix))
 		next = append(next, cur...)
 		next = append(next, suffix...)
-		m.data[key] = next
+		sh[key] = next
 		return okReply(nil)
 	case KVCAS:
 		key := r.String()
@@ -163,7 +211,7 @@ func (m *KVStore) Apply(op []byte) []byte {
 		if r.Err() != nil {
 			return statusReply(StatusBadOp)
 		}
-		cur, ok := m.data[key]
+		cur, ok := m.get(key)
 		if !ok {
 			return statusReply(StatusNotFound)
 		}
@@ -172,7 +220,7 @@ func (m *KVStore) Apply(op []byte) []byte {
 			out = append(out, byte(StatusConflict))
 			return append(out, cur...)
 		}
-		m.data[key] = newVal
+		m.mutable(key)[key] = newVal
 		return okReply(nil)
 	case KVKeys:
 		prefix := r.String()
@@ -181,9 +229,11 @@ func (m *KVStore) Apply(op []byte) []byte {
 			return statusReply(StatusBadOp)
 		}
 		keys := make([]string, 0, 16)
-		for k := range m.data {
-			if len(k) >= len(prefix) && k[:len(prefix)] == prefix {
-				keys = append(keys, k)
+		for i := range m.shards {
+			for k := range m.shards[i] {
+				if len(k) >= len(prefix) && k[:len(prefix)] == prefix {
+					keys = append(keys, k)
+				}
 			}
 		}
 		sort.Strings(keys)
@@ -198,28 +248,31 @@ func (m *KVStore) Apply(op []byte) []byte {
 		return okReply(w.Bytes())
 	case KVSize:
 		w := types.NewWriter(4)
-		w.Uvarint(uint64(len(m.data)))
+		w.Uvarint(uint64(m.size))
 		return okReply(w.Bytes())
 	default:
 		return statusReply(StatusBadOp)
 	}
 }
 
-// Snapshot implements Machine. Keys are emitted in sorted order so snapshots
-// are byte-identical across replicas with equal state.
+// Snapshot implements Machine. Keys are emitted in globally sorted order so
+// snapshots are byte-identical across replicas with equal state (and
+// byte-identical to the pre-sharding format).
 func (m *KVStore) Snapshot() []byte {
-	keys := make([]string, 0, len(m.data))
+	keys := make([]string, 0, m.size)
 	total := 0
-	for k, v := range m.data {
-		keys = append(keys, k)
-		total += len(k) + len(v) + 8
+	for i := range m.shards {
+		for k, v := range m.shards[i] {
+			keys = append(keys, k)
+			total += len(k) + len(v) + 8
+		}
 	}
 	sort.Strings(keys)
 	w := types.NewWriter(8 + total)
 	w.Uvarint(uint64(len(keys)))
 	for _, k := range keys {
 		w.String(k)
-		w.BytesField(m.data[k])
+		w.BytesField(m.shards[shardOf(k)][k])
 	}
 	return w.Bytes()
 }
@@ -231,24 +284,111 @@ func (m *KVStore) Restore(snapshot []byte) error {
 	if err := r.Err(); err != nil {
 		return fmt.Errorf("kv snapshot header: %w", err)
 	}
-	data := make(map[string][]byte, n)
+	var shards [numShards]map[string][]byte
+	for i := range shards {
+		shards[i] = make(map[string][]byte)
+	}
 	for i := uint64(0); i < n; i++ {
 		k := r.String()
 		v := r.BytesField()
 		if err := r.Err(); err != nil {
 			return fmt.Errorf("kv snapshot entry %d: %w", i, err)
 		}
-		data[k] = v
+		shards[shardOf(k)][k] = v
 	}
 	if r.Remaining() != 0 {
 		return fmt.Errorf("%w: %d trailing bytes in kv snapshot", types.ErrCodec, r.Remaining())
 	}
-	m.data = data
+	m.shards = shards
+	m.shared = [numShards]bool{}
+	m.size = int(n)
+	return nil
+}
+
+// kvFork is a copy-on-write snapshot of a KVStore: it holds the shard map
+// references captured at fork time. The maps are never mutated after capture
+// (the machine clones a shared shard before writing), so serializing them
+// concurrently with further applies is safe.
+type kvFork struct {
+	shards [numShards]map[string][]byte
+}
+
+// ForkSnapshot implements ChunkedSnapshotter. O(numShards): it copies the
+// shard references and marks every shard shared; the next write to a shard
+// pays for one clone. Stale shared marks (after the fork is dropped) cost at
+// most one extra clone per shard and are cleared by Restore.
+func (m *KVStore) ForkSnapshot() SnapshotSource {
+	f := &kvFork{shards: m.shards}
+	for i := range m.shared {
+		m.shared[i] = true
+	}
+	return f
+}
+
+func (f *kvFork) Format() byte   { return SnapshotFormatShards }
+func (f *kvFork) NumChunks() int { return numShards }
+
+// Chunk serializes shard i: uvarint count, then sorted (key, value) pairs.
+func (f *kvFork) Chunk(i int) []byte {
+	sh := f.shards[i]
+	keys := make([]string, 0, len(sh))
+	total := 0
+	for k, v := range sh {
+		keys = append(keys, k)
+		total += len(k) + len(v) + 8
+	}
+	sort.Strings(keys)
+	w := types.NewWriter(8 + total)
+	w.Uvarint(uint64(len(keys)))
+	for _, k := range keys {
+		w.String(k)
+		w.BytesField(sh[k])
+	}
+	return w.Bytes()
+}
+
+// RestoreChunk implements ChunkedSnapshotter: installs shard index from its
+// serialized form. Chunks may arrive in any order.
+func (m *KVStore) RestoreChunk(index int, data []byte) error {
+	if index < 0 || index >= numShards {
+		return fmt.Errorf("%w: kv chunk index %d out of range", types.ErrCodec, index)
+	}
+	r := types.NewReader(data)
+	n := r.Uvarint()
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("kv chunk %d header: %w", index, err)
+	}
+	sh := make(map[string][]byte, n)
+	for i := uint64(0); i < n; i++ {
+		k := r.String()
+		v := r.BytesField()
+		if err := r.Err(); err != nil {
+			return fmt.Errorf("kv chunk %d entry %d: %w", index, i, err)
+		}
+		if shardOf(k) != index {
+			return fmt.Errorf("%w: key %q does not belong to kv shard %d", types.ErrCodec, k, index)
+		}
+		sh[k] = v
+	}
+	if r.Remaining() != 0 {
+		return fmt.Errorf("%w: trailing bytes in kv chunk %d", types.ErrCodec, index)
+	}
+	m.size += len(sh) - len(m.shards[index])
+	m.shards[index] = sh
+	m.shared[index] = false
+	return nil
+}
+
+// FinishRestore implements ChunkedSnapshotter.
+func (m *KVStore) FinishRestore(total int) error {
+	if total != numShards {
+		return fmt.Errorf("%w: kv chunked snapshot has %d chunks, want %d", types.ErrCodec, total, numShards)
+	}
 	return nil
 }
 
 // Len returns the number of keys, for tests and state-size accounting.
-func (m *KVStore) Len() int { return len(m.data) }
+func (m *KVStore) Len() int { return m.size }
 
 // DecodeKeysReply parses the payload of a successful KVKeys reply.
 func DecodeKeysReply(payload []byte) ([]string, error) {

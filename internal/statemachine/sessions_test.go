@@ -120,7 +120,7 @@ func TestSessionedSnapshotCarriesDedup(t *testing.T) {
 	if bank.Total() != 100 {
 		t.Fatalf("conservation violated: %d", bank.Total())
 	}
-	if b := bank.accounts["b"]; b != 40 {
+	if b := bank.balance("b"); b != 40 {
 		t.Fatalf("b = %d, transfer double-applied or lost", b)
 	}
 }

@@ -81,3 +81,28 @@ func benchSlotWrites(b *testing.B, s Store, writers int, payload []byte) {
 	}
 	wg.Wait()
 }
+
+// BenchmarkWALStoreAppend isolates the record-encode + buffer path of a
+// WALStore write (no fsync): the per-record allocation behavior of the
+// mutation codec shows up directly in allocs/op.
+//
+//	go test ./internal/storage/ -bench WALStoreAppend -benchmem
+func BenchmarkWALStoreAppend(b *testing.B) {
+	value := bytes.Repeat([]byte{0xab}, 128)
+	s, err := OpenWALStore(b.TempDir(), WALStoreOptions{CompactBytes: -1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { _ = s.Close() })
+	keys := make([]string, 256)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("bench/slot/%06d", i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Set(keys[i%len(keys)], value); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package storage
+
+import (
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/types"
+)
+
+// Chunked blob persistence: a large value (a state-machine snapshot) is
+// stored as a manifest key plus one key per chunk, so neither writer nor
+// reader ever materializes the whole value as a single []byte, and a
+// partially fetched blob survives a crash — present chunks are re-verified
+// against the manifest CRCs on recovery and only the missing ones refetched.
+//
+// Layout under a caller-chosen prefix:
+//
+//	<prefix>/meta    manifest: format byte + per-chunk CRC32-C
+//	<prefix>/c/<i>   chunk i (zero-padded decimal index)
+
+// ChunkManifest describes a chunked blob. Format is interpreted by the owner
+// (see statemachine.SnapshotFormat*); CRCs[i] is the CRC32-C of chunk i.
+type ChunkManifest struct {
+	Format byte
+	CRCs   []uint32
+}
+
+// Chunks returns the number of chunks in the manifest.
+func (m ChunkManifest) Chunks() int { return len(m.CRCs) }
+
+// ChunkCRC computes the CRC32-C checksum a manifest records per chunk.
+func ChunkCRC(data []byte) uint32 { return crc32.Checksum(data, walCRC) }
+
+// EncodeChunkManifest serializes a manifest.
+func EncodeChunkManifest(m ChunkManifest) []byte {
+	w := types.NewWriter(2 + 5*len(m.CRCs))
+	w.Byte(m.Format)
+	w.Uvarint(uint64(len(m.CRCs)))
+	for _, c := range m.CRCs {
+		w.Uvarint(uint64(c))
+	}
+	return w.Bytes()
+}
+
+// DecodeChunkManifest parses a manifest.
+func DecodeChunkManifest(data []byte) (ChunkManifest, error) {
+	r := types.NewReader(data)
+	m := ChunkManifest{Format: r.Byte()}
+	n := r.Uvarint()
+	if err := r.Err(); err != nil {
+		return ChunkManifest{}, fmt.Errorf("chunk manifest header: %w", err)
+	}
+	if n > 1<<20 {
+		return ChunkManifest{}, fmt.Errorf("%w: absurd chunk count %d", types.ErrCodec, n)
+	}
+	m.CRCs = make([]uint32, n)
+	for i := range m.CRCs {
+		m.CRCs[i] = uint32(r.Uvarint())
+	}
+	if err := r.Err(); err != nil {
+		return ChunkManifest{}, fmt.Errorf("chunk manifest body: %w", err)
+	}
+	if r.Remaining() != 0 {
+		return ChunkManifest{}, fmt.Errorf("%w: trailing bytes in chunk manifest", types.ErrCodec)
+	}
+	return m, nil
+}
+
+// ManifestKey returns the store key of the manifest under prefix.
+func ManifestKey(prefix string) string { return prefix + "/meta" }
+
+// ChunkKey returns the store key of chunk i under prefix.
+func ChunkKey(prefix string, i int) string { return fmt.Sprintf("%s/c/%06d", prefix, i) }
+
+// WriteChunkManifest persists just the manifest (written first so a joiner
+// can persist chunks incrementally as they are fetched and verified).
+func WriteChunkManifest(s Store, prefix string, m ChunkManifest) error {
+	return s.Set(ManifestKey(prefix), EncodeChunkManifest(m))
+}
+
+// ReadChunkManifest loads the manifest under prefix; ok is false if absent.
+func ReadChunkManifest(s Store, prefix string) (ChunkManifest, bool, error) {
+	data, ok, err := s.Get(ManifestKey(prefix))
+	if err != nil || !ok {
+		return ChunkManifest{}, false, err
+	}
+	m, err := DecodeChunkManifest(data)
+	if err != nil {
+		return ChunkManifest{}, false, err
+	}
+	return m, true, nil
+}
+
+// WriteChunked persists a whole chunked blob: manifest first, then every
+// chunk produced by the chunk callback (called once per index, in order, so
+// the caller can serialize lazily and never hold more than one chunk).
+func WriteChunked(s Store, prefix string, m ChunkManifest, chunk func(i int) []byte) error {
+	if err := WriteChunkManifest(s, prefix, m); err != nil {
+		return err
+	}
+	for i := 0; i < len(m.CRCs); i++ {
+		if err := s.Set(ChunkKey(prefix, i), chunk(i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadChunk loads chunk i under prefix and verifies it against the manifest
+// CRC; a corrupt chunk is reported as absent (ok=false) so recovery refetches
+// it rather than poisoning a restore.
+func ReadChunk(s Store, prefix string, m ChunkManifest, i int) ([]byte, bool, error) {
+	data, ok, err := s.Get(ChunkKey(prefix, i))
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	if ChunkCRC(data) != m.CRCs[i] {
+		return nil, false, nil
+	}
+	return data, true, nil
+}
+
+// ReadChunked loads a chunked blob. complete reports whether every chunk was
+// present and CRC-clean; chunks holds nil at missing/corrupt indices so a
+// resuming fetcher knows exactly what is left to pull.
+func ReadChunked(s Store, prefix string) (m ChunkManifest, chunks [][]byte, complete bool, err error) {
+	m, ok, err := ReadChunkManifest(s, prefix)
+	if err != nil || !ok {
+		return ChunkManifest{}, nil, false, err
+	}
+	chunks = make([][]byte, m.Chunks())
+	complete = true
+	for i := range chunks {
+		data, ok, err := ReadChunk(s, prefix, m, i)
+		if err != nil {
+			return ChunkManifest{}, nil, false, err
+		}
+		if !ok {
+			complete = false
+			continue
+		}
+		chunks[i] = data
+	}
+	return m, chunks, complete, nil
+}
+
+// DeleteChunked removes a chunked blob (manifest and all chunks).
+func DeleteChunked(s Store, prefix string) error {
+	m, ok, err := ReadChunkManifest(s, prefix)
+	if err == nil && ok {
+		for i := 0; i < m.Chunks(); i++ {
+			if derr := s.Delete(ChunkKey(prefix, i)); derr != nil {
+				return derr
+			}
+		}
+	}
+	return s.Delete(ManifestKey(prefix))
+}

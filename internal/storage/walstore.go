@@ -1,9 +1,11 @@
 package storage
 
 import (
+	"bufio"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -128,15 +130,25 @@ func (s *WALStore) applyRecord(payload []byte) error {
 	return nil
 }
 
+// recWriterPool recycles the scratch buffer used to encode one mutation
+// record. WAL.Append copies the record into its own buffer before returning,
+// so the writer can go straight back into the pool.
+var recWriterPool = sync.Pool{
+	New: func() any { return types.NewWriter(256) },
+}
+
 // append encodes and logs one mutation, returning its LSN.
 func (s *WALStore) append(op byte, key string, value []byte) (uint64, error) {
-	w := types.NewWriter(8 + len(key) + len(value))
+	w := recWriterPool.Get().(*types.Writer)
+	w.Reset()
 	w.Byte(op)
 	w.String(key)
 	if op == walOpSet {
 		w.BytesField(value)
 	}
-	return s.wal.Append(w.Bytes())
+	lsn, err := s.wal.Append(w.Bytes())
+	recWriterPool.Put(w)
+	return lsn, err
 }
 
 // Set implements Store.
@@ -305,21 +317,18 @@ func (s *WALStore) compact() error {
 
 // writeCheckpoint persists a full-state snapshot covering records <= lsn,
 // atomically (temp + fsync + rename + dir fsync) and CRC-protected.
+//
+// The body is streamed through a buffered writer with a running CRC rather
+// than materialized: a checkpoint of an N-byte state costs O(record) extra
+// memory, not O(N). The header's CRC field is written as a placeholder and
+// patched with WriteAt once the body bytes (and their checksum) are known —
+// safe because the file only becomes a checkpoint at the rename, after fsync.
 func (s *WALStore) writeCheckpoint(lsn uint64, snap map[string][]byte) error {
 	keys := make([]string, 0, len(snap))
-	var bytes int
-	for k, v := range snap {
+	for k := range snap {
 		keys = append(keys, k)
-		bytes += len(k) + len(v)
 	}
 	sort.Strings(keys)
-	w := types.NewWriter(len(ckptMagic) + 16 + bytes + 8*len(keys))
-	w.Uvarint(uint64(len(keys)))
-	for _, k := range keys {
-		w.String(k)
-		w.BytesField(snap[k])
-	}
-	body := w.Bytes()
 
 	tmp, err := os.CreateTemp(s.dir, ".ckpt-*")
 	if err != nil {
@@ -327,14 +336,51 @@ func (s *WALStore) writeCheckpoint(lsn uint64, snap map[string][]byte) error {
 	}
 	tmpName := tmp.Name()
 	cleanup := func() { _ = tmp.Close(); _ = os.Remove(tmpName) }
+
 	var hdr []byte
 	hdr = append(hdr, ckptMagic...)
-	hdr = binary.LittleEndian.AppendUint32(hdr, crc32.Checksum(body, walCRC))
+	hdr = binary.LittleEndian.AppendUint32(hdr, 0) // CRC placeholder, patched below
 	if _, err := tmp.Write(hdr); err != nil {
 		cleanup()
 		return fmt.Errorf("storage: checkpoint: %w", err)
 	}
-	if _, err := tmp.Write(body); err != nil {
+
+	crc := crc32.New(walCRC)
+	bw := bufio.NewWriterSize(io.MultiWriter(tmp, crc), 64<<10)
+	var scratch [binary.MaxVarintLen64]byte
+	putUvarint := func(v uint64) error {
+		n := binary.PutUvarint(scratch[:], v)
+		_, err := bw.Write(scratch[:n])
+		return err
+	}
+	writeField := func(b []byte) error {
+		if err := putUvarint(uint64(len(b))); err != nil {
+			return err
+		}
+		_, err := bw.Write(b)
+		return err
+	}
+	if err := putUvarint(uint64(len(keys))); err != nil {
+		cleanup()
+		return fmt.Errorf("storage: checkpoint: %w", err)
+	}
+	for _, k := range keys {
+		if err := writeField([]byte(k)); err != nil {
+			cleanup()
+			return fmt.Errorf("storage: checkpoint: %w", err)
+		}
+		if err := writeField(snap[k]); err != nil {
+			cleanup()
+			return fmt.Errorf("storage: checkpoint: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		cleanup()
+		return fmt.Errorf("storage: checkpoint: %w", err)
+	}
+
+	binary.LittleEndian.PutUint32(scratch[:4], crc.Sum32())
+	if _, err := tmp.WriteAt(scratch[:4], int64(len(ckptMagic))); err != nil {
 		cleanup()
 		return fmt.Errorf("storage: checkpoint: %w", err)
 	}

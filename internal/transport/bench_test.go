@@ -1,0 +1,26 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+)
+
+// BenchmarkEncodeFrame measures producing one TCP wire frame the way
+// transmit does (pooled scratch buffer + appendFrame) — the hottest
+// allocation site of the TCP fabric.
+//
+//	go test ./internal/transport/ -bench EncodeFrame -benchmem
+func BenchmarkEncodeFrame(b *testing.B) {
+	payload := bytes.Repeat([]byte{0xcd}, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bufp := framePool.Get().(*[]byte)
+		frame := appendFrame((*bufp)[:0], "node-01", 3, 32, payload)
+		if len(frame) == 0 {
+			b.Fatal("empty frame")
+		}
+		*bufp = frame[:0]
+		framePool.Put(bufp)
+	}
+}

@@ -216,19 +216,25 @@ func (f *tcpFabric) transmit(from, to types.NodeID, stream uint64, kind uint8, p
 		f.mu.Unlock()
 	}
 
-	frame := encodeFrame(from, stream, kind, payload)
+	bufp := framePool.Get().(*[]byte)
+	frame := appendFrame((*bufp)[:0], from, stream, kind, payload)
 	oc.mu.Lock()
 	err := oc.err
 	if err == nil {
+		// bw.Write copies frame into the connection buffer (or the socket),
+		// so the scratch buffer can be pooled as soon as it returns.
 		_, err = oc.bw.Write(frame)
 		oc.err = err
 	}
 	oc.mu.Unlock()
+	size := int64(len(frame))
+	*bufp = frame[:0]
+	framePool.Put(bufp)
 	if err != nil {
 		f.dropConn(key, oc)
 		return
 	}
-	f.net.frameSizes.Observe(int64(len(frame)))
+	f.net.frameSizes.Observe(size)
 	select {
 	case oc.notify <- struct{}{}:
 	default: // flusher already kicked; it will see this frame too
@@ -297,10 +303,19 @@ func (f *tcpFabric) close() {
 	f.wg.Wait()
 }
 
+// framePool recycles frame-encode scratch buffers: transmit copies the frame
+// into the connection's buffered writer before returning it to the pool, so
+// steady-state sends allocate nothing.
+var framePool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
 // Frame layout: fromLen|from|stream|kind|payloadLen|payload, all varints
 // except kind (one byte).
-func encodeFrame(from types.NodeID, stream uint64, kind uint8, payload []byte) []byte {
-	buf := make([]byte, 0, len(from)+len(payload)+24)
+func appendFrame(buf []byte, from types.NodeID, stream uint64, kind uint8, payload []byte) []byte {
 	buf = binary.AppendUvarint(buf, uint64(len(from)))
 	buf = append(buf, from...)
 	buf = binary.AppendUvarint(buf, stream)

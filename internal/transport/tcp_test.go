@@ -152,7 +152,7 @@ func TestFrameRoundTripProperty(t *testing.T) {
 		if len(from) > 4096 {
 			from = from[:4096]
 		}
-		frame := encodeFrame(types.NodeID(from), stream, kind, payload)
+		frame := appendFrame(nil, types.NodeID(from), stream, kind, payload)
 		gf, gs, gk, gp, err := decodeFrame(bufio.NewReader(bytes.NewReader(frame)))
 		return err == nil && gf == types.NodeID(from) && gs == stream && gk == kind && bytes.Equal(gp, payload)
 	}
@@ -162,14 +162,14 @@ func TestFrameRoundTripProperty(t *testing.T) {
 }
 
 func TestFrameDecodeRejectsGarbage(t *testing.T) {
-	frame := encodeFrame("n1", 3, 2, []byte("hello"))
+	frame := appendFrame(nil, "n1", 3, 2, []byte("hello"))
 	for i := 0; i < len(frame); i++ {
 		if _, _, _, _, err := decodeFrame(bufio.NewReader(bytes.NewReader(frame[:i]))); err == nil {
 			t.Fatalf("truncated frame at %d accepted", i)
 		}
 	}
 	// Absurd payload length must be rejected, not allocated.
-	bad := encodeFrame("n1", 1, 1, nil)
+	bad := appendFrame(nil, "n1", 1, 1, nil)
 	bad = bad[:len(bad)-1] // strip the zero payload length
 	bad = append(bad, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f)
 	if _, _, _, _, err := decodeFrame(bufio.NewReader(bytes.NewReader(bad))); err == nil {

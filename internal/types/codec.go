@@ -29,6 +29,10 @@ func NewWriter(n int) *Writer { return &Writer{buf: make([]byte, 0, n)} }
 // Bytes returns the encoded bytes accumulated so far.
 func (w *Writer) Bytes() []byte { return w.buf }
 
+// Reset empties the writer, keeping its capacity — for sync.Pool reuse on
+// encode hot paths. The caller must be done with any Bytes() result first.
+func (w *Writer) Reset() { w.buf = w.buf[:0] }
+
 // Len returns the number of bytes accumulated so far.
 func (w *Writer) Len() int { return len(w.buf) }
 
