@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-read bench-snapshot vet fmt-check ci
+.PHONY: all build test race bench bench-read bench-snapshot bench-write vet fmt-check ci
 
 all: build test
 
@@ -33,6 +33,12 @@ bench-read:
 bench-snapshot:
 	$(GO) test -run '^$$' -bench SnapshotTransfer -benchtime 1x .
 	$(GO) test -run '^$$' -bench ForkVsSnapshot -benchtime 2s ./internal/statemachine/
+
+# Write-path smoke: one pass each of the pipeline-depth sweep and the
+# parallel-vs-serial apply ablation on the fsynced WAL backend. The full W1
+# table with open-loop latency lives in `rsmbench -exp write`.
+bench-write:
+	$(GO) test -run '^$$' -bench 'PipelineDepth|ParallelApply' -benchtime 1x .
 
 vet:
 	$(GO) vet ./...

@@ -280,6 +280,47 @@ func BenchmarkBatchSizeDefault(b *testing.B) {
 	}
 }
 
+// BenchmarkPipelineDepth — the sweep behind the shipped
+// paxos.Options.Pipeline default: proposer window depths on the durable WAL
+// backend with synced writes, where the depth decides how many slot rounds
+// share one group-commit fsync. Closed-loop phase only; the W1 table in
+// EXPERIMENTS.md (`make bench-write`) adds the open-loop latency columns.
+func BenchmarkPipelineDepth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.RunW1WritePath(tuning(), []int{1, 2, 4, 8, 16}, 1500*time.Millisecond, 64, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Log("\n" + res.Render())
+		for _, row := range res.Rows {
+			if row.SerialApply {
+				continue
+			}
+			b.ReportMetric(row.Throughput, fmt.Sprintf("ops/s/depth%d", row.Pipeline))
+		}
+	}
+}
+
+// BenchmarkParallelApply — decide/apply decoupling plus sharded parallel
+// apply against the coupled serial ablation (Options.SerialApply), at the
+// shipped pipeline depth on the durable WAL backend.
+func BenchmarkParallelApply(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.RunW1WritePath(tuning(), []int{4}, benchRunDur, 64, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Log("\n" + res.Render())
+		for _, row := range res.Rows {
+			mode := "parallel"
+			if row.SerialApply {
+				mode = "serial"
+			}
+			b.ReportMetric(row.Throughput, "ops/s/"+mode)
+		}
+	}
+}
+
 // BenchmarkR1ReadScaling — Table R1: linearizable read fast path, serving
 // mode x read ratio at n=3 on the durable WAL backend.
 func BenchmarkR1ReadScaling(b *testing.B) {

@@ -7,8 +7,9 @@
 //	rsmbench -exp all -dur 3s   # the full suite, 3s of load per run
 //	rsmbench -exp lin -seed 7   # linearizability chaos check from a seed
 //	rsmbench -exp read          # read fast path: mode x read-ratio sweep
+//	rsmbench -exp write         # write path: pipeline depth x apply mode sweep
 //
-// Experiment IDs: t1 t1d f1 t2 f2 t3 f3 t4 f4 t5 f5 lin read (see DESIGN.md §4).
+// Experiment IDs: t1 t1d f1 t2 f2 t3 f3 t4 f4 t5 f5 lin read write (see DESIGN.md §4).
 package main
 
 import (
@@ -29,7 +30,7 @@ func main() {
 
 func run() int {
 	var (
-		exp     = flag.String("exp", "all", "experiment ID (t1,t1d,f1,t2,f2,t3,f3,t4,f4,t5,f5,lin,read or all)")
+		exp     = flag.String("exp", "all", "experiment ID (t1,t1d,f1,t2,f2,t3,f3,t4,f4,t5,f5,lin,read,write or all)")
 		dur     = flag.Duration("dur", 2*time.Second, "load duration per run")
 		clients = flag.Int("clients", 4, "closed-loop client count")
 		seed    = flag.Int64("seed", 1, "nemesis schedule seed (lin experiment)")
@@ -202,6 +203,25 @@ func runOne(id string, tun harness.Tuning, dur time.Duration, clients int, seed 
 		res, err := harness.RunReadScaling(rt,
 			[]reconfig.ReadMode{reconfig.ReadModeLog, reconfig.ReadModeIndex, reconfig.ReadModeLease},
 			[]int{3, 5}, []float64{0, 0.5, 0.9, 0.99}, dur, rc)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
+	case "write":
+		// W1 runs on the durable WAL backend with synced writes — the
+		// configuration where pipeline depth governs how many fsync+broadcast
+		// rounds overlap — and drives a write-only workload. Many more
+		// clients than the other experiments so the closed-loop phase
+		// saturates even deep pipelines, and an open-loop arrival rate
+		// chosen above the unpipelined configuration's capacity but below
+		// the pipelined one's, so the fixed-rate phase separates "keeping
+		// up" from "underwater" instead of idling below both.
+		wt := tun
+		wc := clients
+		if wc < 64 {
+			wc = 64
+		}
+		res, err := harness.RunW1WritePath(wt, []int{1, 2, 4, 8, 16}, dur, wc, 4000)
 		if err != nil {
 			return err
 		}

@@ -86,8 +86,15 @@ type Tuning struct {
 	// fetch) — the ablation baseline the chunked transfer is measured
 	// against.
 	Mono     bool
-	MaxDepth int // paxos pipeline depth (0 = default)
+	MaxDepth int // paxos hard inflight cap (0 = default)
 	Batch    int // paxos commands per slot (0 = default; A1 ablation)
+	// Pipeline is the proposer's working window: how many slots a leader
+	// keeps concurrently in flight (0 = paxos default; W1 sweep).
+	Pipeline int
+	// SerialApply restores the composed system's coupled decide/apply path
+	// (every command executed under the node mutex) — the W1 ablation
+	// baseline the sharded parallel apply is measured against.
+	SerialApply bool
 
 	// Reads selects the composed system's read-serving mode (log, read-index
 	// or leases); 0 keeps the reconfig default (read-index).
@@ -138,6 +145,7 @@ func (t Tuning) paxosOpts() paxos.Options {
 		ElectionJitterTicks:  10,
 		MaxInflight:          t.MaxDepth,
 		BatchSize:            t.Batch,
+		Pipeline:             t.Pipeline,
 	}
 }
 
@@ -271,6 +279,7 @@ func newComposed(t Tuning, factory statemachine.Factory, initial, spares []types
 		MonolithicTransfer: t.Mono,
 		Reads:              t.Reads,
 		LeaseTicks:         t.LeaseTicks,
+		SerialApply:        t.SerialApply,
 	}
 	boot := func(id types.NodeID, member bool) error {
 		st, err := d.stores.open(id)

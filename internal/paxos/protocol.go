@@ -13,7 +13,7 @@ func (r *Replica) persistPromised() {
 	w.Ballot(r.promised)
 	// Stable storage failures are unrecoverable for an acceptor; surface
 	// them as invariant violations so tests and the harness notice.
-	if err := r.store.Set(r.prefix+"promised", w.Bytes()); err != nil {
+	if err := r.setDurable(r.prefix+"promised", w.Bytes()); err != nil {
 		r.stats.violations.Add(1)
 	}
 }
@@ -23,7 +23,7 @@ func (r *Replica) persistAccepted(e acceptedEntry) {
 	w.Uvarint(uint64(e.Slot))
 	w.Ballot(e.Ballot)
 	e.Cmd.Encode(w)
-	if err := r.store.Set(storage.SlotKey(r.prefix+"acc/", uint64(e.Slot)), w.Bytes()); err != nil {
+	if err := r.setDurable(storage.SlotKey(r.prefix+"acc/", uint64(e.Slot)), w.Bytes()); err != nil {
 		r.stats.violations.Add(1)
 	}
 }
@@ -32,7 +32,7 @@ func (r *Replica) persistDecided(slot types.Slot, cmd types.Command) {
 	w := types.NewWriter(8 + cmd.EncodedSize())
 	w.Uvarint(uint64(slot))
 	cmd.Encode(w)
-	if err := r.store.Set(storage.SlotKey(r.prefix+"dec/", uint64(slot)), w.Bytes()); err != nil {
+	if err := r.setDurable(storage.SlotKey(r.prefix+"dec/", uint64(slot)), w.Bytes()); err != nil {
 		r.stats.violations.Add(1)
 	}
 }
@@ -112,11 +112,31 @@ func (r *Replica) send(to types.NodeID, kind uint8, payload []byte) {
 	if to == r.self {
 		return // local interactions are handled synchronously, never sent
 	}
+	if r.inBurst {
+		r.outbox = append(r.outbox, deferredSend{to: to, kind: kind, payload: payload})
+		return
+	}
 	_ = r.ep.Send(to, r.stream, kind, payload)
 }
 
 func (r *Replica) broadcast(kind uint8, payload []byte) {
+	if r.inBurst {
+		r.outbox = append(r.outbox, deferredSend{kind: kind, payload: payload})
+		return
+	}
 	r.ep.Broadcast(r.cfg.Members, r.stream, kind, payload)
+}
+
+// setDurable writes acceptor/learner state. Inside a burst the write is
+// staged and becomes durable at the burst's group-commit Sync — strictly
+// before any message or decision from the burst is released (endBurst);
+// outside a burst it is a plain synchronous durable write.
+func (r *Replica) setDurable(key string, value []byte) error {
+	if r.inBurst {
+		r.burstDirty = true
+		return r.bstore.SetBuffered(key, value)
+	}
+	return r.store.Set(key, value)
 }
 
 // --- acceptor role ---------------------------------------------------------
@@ -369,6 +389,21 @@ func (r *Replica) stepDown() {
 // --- learner role ------------------------------------------------------------
 
 func (r *Replica) learn(slot types.Slot, cmd types.Command) {
+	if sp, ok := r.inflight[slot]; ok {
+		// The slot was chosen out of band — an old leader's decide
+		// broadcast, a catch-up response, or an acceptor's already-decided
+		// fast path in onAccept — so our own phase-2 round for it is moot.
+		// The entry must be cleared here: nothing else removes it (the
+		// acceptors keep answering KindDecide, never Accepted), and a few
+		// such zombies would permanently fill the Pipeline window and wedge
+		// the proposer. If a different value won the slot, re-queue ours;
+		// session dedup upstairs makes the re-submission harmless.
+		delete(r.inflight, slot)
+		if !sp.cmd.Equal(cmd) && !sp.cmd.IsNoop() && len(r.pending) < r.opts.PendingLimit {
+			r.pending = append(r.pending, sp.cmd)
+		}
+		defer r.drainPending()
+	}
 	if prev, ok := r.decided[slot]; ok {
 		if !prev.Equal(cmd) {
 			// Two different decisions for one slot: agreement broken.
@@ -419,7 +454,7 @@ func (r *Replica) onCatchupReq(from types.NodeID, msg catchupReqMsg) {
 
 func (r *Replica) handlePropose(cmd types.Command) {
 	r.stats.proposals.Add(1)
-	if r.role == roleLeader && r.opts.BatchSize <= 1 && len(r.inflight) < r.opts.MaxInflight {
+	if r.role == roleLeader && r.opts.BatchSize <= 1 && len(r.inflight) < r.opts.Pipeline {
 		r.proposeNext(cmd)
 		return
 	}
@@ -434,10 +469,14 @@ func (r *Replica) handlePropose(cmd types.Command) {
 	r.flushPendingToLeader()
 }
 
-// drainPending assigns queued proposals to slots while the pipeline has
-// room, packing up to BatchSize commands per slot.
+// drainPending assigns queued proposals to slots while the pipeline window
+// (Options.Pipeline, always <= MaxInflight) has room, packing up to
+// BatchSize commands per slot. Keeping the working window narrower than the
+// protocol's hard MaxInflight bound concentrates queued commands into fewer,
+// fuller slots: each open slot costs a broadcast, a durable log record on
+// every acceptor, and a decision delivery.
 func (r *Replica) drainPending() {
-	for r.role == roleLeader && len(r.pending) > 0 && len(r.inflight) < r.opts.MaxInflight {
+	for r.role == roleLeader && len(r.pending) > 0 && len(r.inflight) < r.opts.Pipeline {
 		k := r.opts.BatchSize
 		if k > len(r.pending) {
 			k = len(r.pending)

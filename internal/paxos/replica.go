@@ -30,8 +30,19 @@ type Options struct {
 	// ResendTicks is how long a candidate/leader waits before
 	// retransmitting an unanswered prepare or accept. Default 5.
 	ResendTicks int
-	// MaxInflight caps the phase-2 pipeline depth. Default 64.
+	// MaxInflight caps the phase-2 pipeline depth. Default 64. This is the
+	// hard protocol bound on concurrently open slots (it also sizes the
+	// re-propose work after a leader change); the working pipeline window a
+	// leader actually drives is the smaller Pipeline below.
 	MaxInflight int
+	// Pipeline is the number of slot windows a leader keeps concurrently
+	// in flight when draining its proposal queue. Deeper pipelines overlap
+	// more accept rounds but spread queued commands across more, emptier
+	// slots — each slot costs a broadcast, a WAL record and a decision
+	// delivery, so past a few windows the per-slot overhead wins. Default 4,
+	// the winner of the BenchmarkPipelineDepth sweep on the durable WAL
+	// backend; clamped to MaxInflight.
+	Pipeline int
 	// BatchSize is the maximum number of queued commands a leader packs
 	// into one consensus slot. Default 16, the winner of the
 	// BenchmarkBatchSizeDefault sweep on the durable WAL backend (batching
@@ -79,6 +90,12 @@ func (o Options) withDefaults() Options {
 	if o.MaxInflight <= 0 {
 		o.MaxInflight = 64
 	}
+	if o.Pipeline <= 0 {
+		o.Pipeline = 4
+	}
+	if o.Pipeline > o.MaxInflight {
+		o.Pipeline = o.MaxInflight
+	}
 	if o.BatchSize <= 0 {
 		o.BatchSize = 16
 	}
@@ -120,6 +137,14 @@ type slotProgress struct {
 	sinceTicks int
 }
 
+// deferredSend is an outbound message held in the burst outbox until the
+// burst's staged writes are durable. An empty `to` means broadcast.
+type deferredSend struct {
+	to      types.NodeID
+	kind    uint8
+	payload []byte
+}
+
 // Stats are the engine's monotone counters, for experiments and tests.
 type Stats struct {
 	Decided             int64
@@ -137,6 +162,10 @@ type Stats struct {
 	ReadRounds int64
 	// LeaseReads counts reads answered locally under a valid leader lease.
 	LeaseReads int64
+	// GroupCommits counts event-loop bursts that ended in a group-commit
+	// Sync; comparing it against Decided shows the fsync amortization the
+	// pipeline achieves (see endBurst).
+	GroupCommits int64
 }
 
 // Replica is one member's engine instance for a single, fixed configuration.
@@ -172,7 +201,7 @@ type Replica struct {
 
 	stats struct {
 		decided, proposals, elections, stepDowns, catchups, violations atomic.Int64
-		droppedInbound, readRounds, leaseReads                         atomic.Int64
+		droppedInbound, readRounds, leaseReads, groupSyncs             atomic.Int64
 	}
 	lastDropWarn atomic.Int64 // unix nanos of the last overflow warning
 
@@ -198,6 +227,18 @@ type Replica struct {
 	hbCountdown      int
 	prepareAge       int
 	catchupCooldown  int
+
+	// group commit (loop-owned): when the store can stage writes
+	// (storage.BufferedStore), each loop wakeup drains a burst of events
+	// with persistence buffered and replies and decisions held back, then
+	// makes the whole burst durable with one Sync before anything leaves
+	// the replica (see endBurst). This is what lets Pipeline > 1 overlap
+	// durable slots instead of serializing one fsync per accept.
+	bstore        storage.BufferedStore
+	inBurst       bool
+	burstDirty    bool
+	outbox        []deferredSend
+	heldDecisions []smr.Decision
 
 	// read fast path (see read.go)
 	curProbe      *probeRound
@@ -248,6 +289,9 @@ func New(cfg types.Config, self types.NodeID, ep *transport.Endpoint, store stor
 		nextSlot:    1,
 	}
 	r.leaderHint.Store(types.NodeID(""))
+	if bs, ok := store.(storage.BufferedStore); ok {
+		r.bstore = bs
+	}
 	if err := r.recover(); err != nil {
 		return nil, fmt.Errorf("paxos recovery: %w", err)
 	}
@@ -399,6 +443,7 @@ func (r *Replica) Stats() Stats {
 		DroppedInbound:      r.stats.droppedInbound.Load(),
 		ReadRounds:          r.stats.readRounds.Load(),
 		LeaseReads:          r.stats.leaseReads.Load(),
+		GroupCommits:        r.stats.groupSyncs.Load(),
 	}
 }
 
@@ -454,6 +499,13 @@ func (r *Replica) pump() {
 }
 
 func (r *Replica) enqueueDecision(d smr.Decision) {
+	if r.inBurst {
+		// Decisions must not reach the application before the burst's group
+		// commit: the leader's own accept is part of the deciding quorum,
+		// and it is only staged until endBurst syncs.
+		r.heldDecisions = append(r.heldDecisions, d)
+		return
+	}
 	r.decMu.Lock()
 	r.decQueue = append(r.decQueue, d)
 	r.decMu.Unlock()
@@ -490,15 +542,101 @@ func (r *Replica) loop() {
 		case <-r.stopCh:
 			return
 		case m := <-r.inMsg:
+			r.beginBurst()
+			r.handleMessage(m)
+			r.drainBurst(burstBudget - 1)
+			r.endBurst()
+		case cmd := <-r.proposeCh:
+			r.beginBurst()
+			r.handlePropose(cmd)
+			r.drainBurst(burstBudget - 1)
+			r.endBurst()
+		case req := <-r.readCh:
+			r.beginBurst()
+			r.handleRead(req)
+			r.drainBurst(burstBudget - 1)
+			r.endBurst()
+		case <-ticker.C:
+			r.beginBurst()
+			r.tick()
+			r.endBurst()
+		}
+	}
+}
+
+// burstBudget caps how many queued events one group-commit burst absorbs
+// before it must sync and release its replies; it bounds both the latency
+// a staged write can sit unfsynced and the outbox growth.
+const burstBudget = 256
+
+// beginBurst opens a group-commit burst when the store supports staged
+// writes. With a plain store every write is individually durable and the
+// loop behaves exactly as a classic one-event-at-a-time engine.
+func (r *Replica) beginBurst() {
+	if r.bstore != nil {
+		r.inBurst = true
+	}
+}
+
+// drainBurst greedily absorbs events that are already queued into the open
+// burst, so their persistence shares the single group-commit fsync. It
+// never blocks: the burst ends as soon as the backlog (or budget) runs out.
+func (r *Replica) drainBurst(budget int) {
+	if !r.inBurst {
+		return
+	}
+	for budget > 0 {
+		select {
+		case m := <-r.inMsg:
 			r.handleMessage(m)
 		case cmd := <-r.proposeCh:
 			r.handlePropose(cmd)
 		case req := <-r.readCh:
 			r.handleRead(req)
-		case <-ticker.C:
-			r.tick()
+		default:
+			return
+		}
+		budget--
+	}
+}
+
+// endBurst is the group-commit barrier: one Sync makes every write staged
+// during the burst durable, and only then do the burst's protocol messages
+// and decisions leave the replica — promises and votes may not be sent, and
+// decisions may not reach the application, before the state backing them is
+// stable. If the sync fails nothing is released: unsynced state must not be
+// externalized, and peers retransmit exactly as they would for lost
+// messages. (In practice a failed sync here means the store was closed
+// under a stopping replica.)
+func (r *Replica) endBurst() {
+	if !r.inBurst {
+		return
+	}
+	r.inBurst = false
+	if r.burstDirty {
+		r.burstDirty = false
+		if err := r.store.Sync(); err != nil {
+			if err != storage.ErrStoreClosed {
+				r.stats.violations.Add(1)
+			}
+			r.outbox = r.outbox[:0]
+			r.heldDecisions = r.heldDecisions[:0]
+			return
+		}
+		r.stats.groupSyncs.Add(1)
+	}
+	for _, m := range r.outbox {
+		if m.to == "" {
+			r.ep.Broadcast(r.cfg.Members, r.stream, m.kind, m.payload)
+		} else {
+			_ = r.ep.Send(m.to, r.stream, m.kind, m.payload)
 		}
 	}
+	r.outbox = r.outbox[:0]
+	for _, d := range r.heldDecisions {
+		r.enqueueDecision(d)
+	}
+	r.heldDecisions = r.heldDecisions[:0]
 }
 
 func (r *Replica) resetElectionDeadline() {

@@ -1,11 +1,20 @@
 package reconfig
 
 import (
+	"repro/internal/statemachine"
 	"repro/internal/types"
 )
 
 // applyLoop is the node's single execution thread: it serializes decisions
-// from all engines into the global command sequence.
+// from all engines into the global command sequence. Two operating modes:
+//
+//   - SerialApply (the ablation / pre-pipelining path): every decision
+//     executes under n.mu, one command at a time, via pumpLocked.
+//   - Default (decoupled): the loop collects a run of ready decisions under
+//     n.mu, releases the mutex, executes them — in parallel across shards
+//     when the machine supports it — and reacquires n.mu only to commit:
+//     advance the apply cursor, answer waiting clients, serve parked reads.
+//     Proposals, reads and housekeeping no longer contend with execution.
 func (n *Node) applyLoop() {
 	defer n.wg.Done()
 	for {
@@ -15,10 +24,212 @@ func (n *Node) applyLoop() {
 		case td := <-n.applyCh:
 			n.mu.Lock()
 			n.routeDecisionLocked(td)
-			n.pumpLocked()
 			n.mu.Unlock()
+			n.pump()
+		case <-n.pumpCh:
+			n.pump()
 		}
 	}
+}
+
+// maxApplyUnits bounds how many commands one pump round executes before
+// recommitting, so a deep decision backlog cannot hold execMu (and block
+// fast-path reads) unboundedly.
+const maxApplyUnits = 1024
+
+// applyUnit is one flattened command: batches are exploded into their
+// members, all carrying the batch's slot.
+type applyUnit struct {
+	slot types.Slot
+	cmd  types.Command
+}
+
+// pump drains ready decisions until no more progress is possible.
+func (n *Node) pump() {
+	for n.pumpRound() {
+	}
+}
+
+// pumpRound routes queued decisions and applies up to maxApplyUnits ready
+// commands. It reports whether it made progress (the caller loops while it
+// does).
+func (n *Node) pumpRound() bool {
+	n.mu.Lock()
+	n.drainApplyChLocked()
+	if n.opts.SerialApply {
+		n.pumpLocked()
+		n.mu.Unlock()
+		return false // pumpLocked drains everything ready in one call
+	}
+	units := n.collectReadyLocked(maxApplyUnits)
+	if len(units) == 0 {
+		n.serveReadyReadsLocked()
+		n.mu.Unlock()
+		return false
+	}
+	epoch := n.epoch
+	machine := n.machine
+	n.mu.Unlock()
+
+	// Execute segment by segment: a maximal run of ordinary commands is one
+	// machine batch executed off-mutex; each reconfiguration executes alone
+	// under the mutex. ApplyBatch joins all shard workers before returning,
+	// so by construction every preceding mutation is complete before a
+	// wedge forks the snapshot (the wedge-drain rule).
+	i := 0
+	for i < len(units) {
+		if units[i].cmd.Kind == types.CmdReconfig {
+			lastOfSlot := i+1 >= len(units) || units[i+1].slot != units[i].slot
+			ok, wedged := n.applyReconfigUnit(units[i], lastOfSlot, &epoch)
+			if !ok || wedged {
+				// Epoch raced (results obsolete) or this configuration
+				// wedged: the remaining units are post-wedge and follow
+				// the re-submission rule, exactly like the buffered
+				// decisions pumpLocked abandons at a wedge.
+				return true
+			}
+			i++
+			continue
+		}
+		j := i + 1
+		for j < len(units) && units[j].cmd.Kind != types.CmdReconfig {
+			j++
+		}
+		// Commit cursor: the last slot all of whose units are in this
+		// segment. A reconfiguration in the same slot (mid-batch wedge)
+		// means the slot is only partially executed here.
+		commit := units[j-1].slot
+		if j < len(units) && units[j].slot == units[j-1].slot {
+			commit = units[j-1].slot - 1
+		}
+		if !n.applySegment(machine, units[i:j], commit, epoch) {
+			return true // epoch raced; results discarded
+		}
+		i = j
+	}
+	return true
+}
+
+// drainApplyChLocked greedily routes every queued decision without blocking.
+func (n *Node) drainApplyChLocked() {
+	for {
+		select {
+		case td := <-n.applyCh:
+			n.routeDecisionLocked(td)
+		default:
+			return
+		}
+	}
+}
+
+// collectReadyLocked pops the contiguous run of ready decisions of the
+// current configuration and flattens batches into applyUnits. Mirrors
+// pumpDecisionsLocked's cursor discipline: stale redeliveries are skipped,
+// slot gaps are invariant violations (the engine contract is gap-free
+// in-order delivery).
+func (n *Node) collectReadyLocked(max int) []applyUnit {
+	if !n.initialized {
+		return nil
+	}
+	run, ok := n.engines[n.curID]
+	if !ok {
+		return nil
+	}
+	var units []applyUnit
+	cursor := n.appliedSlot
+	for len(units) < max && len(run.buffered) > 0 {
+		dec := run.buffered[0]
+		run.buffered = run.buffered[1:]
+		if dec.Slot != cursor+1 {
+			if dec.Slot <= cursor {
+				continue // stale redelivery; already executed
+			}
+			n.stats.violations++
+			continue
+		}
+		cursor = dec.Slot
+		if dec.Cmd.Kind == types.CmdBatch {
+			subs, err := types.DecodeBatch(dec.Cmd.Data)
+			if err != nil {
+				// A leader produced a corrupt batch; consume the slot so
+				// the cursor still advances (as the serial path does).
+				n.stats.violations++
+				units = append(units, applyUnit{slot: dec.Slot, cmd: types.Command{Kind: types.CmdNoop}})
+				continue
+			}
+			for _, sub := range subs {
+				units = append(units, applyUnit{slot: dec.Slot, cmd: sub})
+			}
+			continue
+		}
+		units = append(units, applyUnit{slot: dec.Slot, cmd: dec.Cmd})
+	}
+	return units
+}
+
+// applyReconfigUnit executes one reconfiguration command under the mutex.
+// ok=false means the epoch raced and nothing was done; wedged reports
+// whether the configuration actually transitioned (in which case the caller
+// must discard the rest of its collected units). On a deterministically
+// invalid reconfiguration (a no-op) the epoch is unchanged and the caller
+// continues; the apply cursor only advances when this is the slot's final
+// unit, so a parked read can never be served against a half-applied slot.
+func (n *Node) applyReconfigUnit(u applyUnit, lastOfSlot bool, epoch *int64) (ok, wedged bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.epoch != *epoch {
+		return false, false
+	}
+	before := n.curID
+	if lastOfSlot {
+		n.appliedSlot = u.slot
+	}
+	n.applyReconfigLocked(u.slot, u.cmd)
+	*epoch = n.epoch
+	n.serveReadyReadsLocked()
+	return true, n.curID != before || !n.initialized
+}
+
+// applySegment executes a run of ordinary commands against the machine with
+// the node mutex released, then reacquires it to commit. If the epoch moved
+// while executing, the machine the segment mutated was already abandoned
+// (snapshot install or configuration jump replaced it) and the results are
+// discarded: nothing is committed, no client is answered; re-submission and
+// session dedup re-derive the replies. Returns whether the commit happened.
+func (n *Node) applySegment(machine *statemachine.Sessioned, seg []applyUnit, commit types.Slot, epoch int64) bool {
+	cmds := make([]types.Command, len(seg))
+	for k := range seg {
+		cmds[k] = seg[k].cmd
+	}
+	n.execMu.Lock()
+	replies, dups := machine.ApplyBatch(cmds, true)
+	n.execMu.Unlock()
+
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.epoch != epoch {
+		return false
+	}
+	if commit > n.appliedSlot {
+		n.appliedSlot = commit
+	}
+	for k := range seg {
+		cmd := seg[k].cmd
+		n.stats.applied++
+		if dups[k] {
+			n.stats.duplicates++
+		}
+		if cmd.Client == "" {
+			continue
+		}
+		key := pendKey{client: cmd.Client, seq: cmd.Seq}
+		if p, pok := n.pending[key]; pok {
+			delete(n.pending, key)
+			n.respondApplied(p, replies[k])
+		}
+	}
+	n.serveReadyReadsLocked()
+	return true
 }
 
 // routeDecisionLocked buffers or discards one decision according to which

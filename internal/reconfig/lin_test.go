@@ -162,6 +162,72 @@ func kvReadHeavyWorkload() linWorkload {
 	}
 }
 
+// kvWriteHeavyWorkload is the parallel-apply stressor: ~90% of generated ops
+// mutate state (Put/Append/Delete/CAS across a keyspace wide enough to land
+// on many shards), so decided batches are dense with commutative single-key
+// writes — exactly what the sharded apply stage fans out to workers. The
+// remaining Gets keep read-after-write ordering observable, so an apply
+// stage that released a client reply before its shard worker finished, or
+// advanced the read cursor past a half-applied batch, shows up as a
+// linearizability counterexample.
+func kvWriteHeavyWorkload() linWorkload {
+	vals := make([][]byte, 6)
+	for i := range vals {
+		vals[i] = []byte(fmt.Sprintf("v%d", i))
+	}
+	return linWorkload{
+		name:    "kv-write-heavy",
+		factory: statemachine.NewKVMachine,
+		model:   lincheck.RegisterModel,
+		genOp: func(rng *rand.Rand) []byte {
+			key := fmt.Sprintf("k%d", rng.Intn(64))
+			if rng.Intn(10) == 0 {
+				return statemachine.EncodeGet(key)
+			}
+			switch rng.Intn(4) {
+			case 0:
+				return statemachine.EncodePut(key, vals[rng.Intn(len(vals))])
+			case 1:
+				return statemachine.EncodeAppend(key, []byte{byte('a' + rng.Intn(4))})
+			case 2:
+				return statemachine.EncodeDelete(key)
+			default:
+				return statemachine.EncodeCAS(key, vals[rng.Intn(len(vals))], vals[rng.Intn(len(vals))])
+			}
+		},
+	}
+}
+
+// bankWriteHeavyWorkload skews the bank toward transfers and deposits.
+// Transfers are cross-shard barriers in the sharded apply stage, so decided
+// batches alternate between parallel per-account groups and serialization
+// points; the Total reads assert conservation across them.
+func bankWriteHeavyWorkload() linWorkload {
+	accounts := []string{"a", "b", "c"}
+	return linWorkload{
+		name:    "bank-write-heavy",
+		factory: statemachine.NewBankMachine,
+		model:   lincheck.BankModel,
+		setup: [][]byte{
+			statemachine.EncodeOpen("a", 100),
+			statemachine.EncodeOpen("b", 100),
+			statemachine.EncodeOpen("c", 100),
+		},
+		genOp: func(rng *rand.Rand) []byte {
+			switch rng.Intn(10) {
+			case 0:
+				return statemachine.EncodeBalance(accounts[rng.Intn(3)])
+			case 1:
+				return statemachine.EncodeTotal()
+			case 2, 3, 4:
+				return statemachine.EncodeDeposit(accounts[rng.Intn(3)], uint64(1+rng.Intn(3)))
+			default:
+				return statemachine.EncodeTransfer(accounts[rng.Intn(3)], accounts[rng.Intn(3)], uint64(1+rng.Intn(4)))
+			}
+		},
+	}
+}
+
 func counterWorkload() linWorkload {
 	return linWorkload{
 		name:    "counter",
@@ -217,6 +283,7 @@ type linRun struct {
 	checkBudget  time.Duration
 	reads        ReadMode // 0 keeps the node default (ReadModeIndex)
 	leaseTicks   int      // lease term override when reads is ReadModeLease
+	serialApply  bool     // ablation: coupled decide/apply path instead of the parallel stage
 }
 
 func runLin(t *testing.T, run linRun) {
@@ -230,6 +297,9 @@ func runLin(t *testing.T, run linRun) {
 	if run.reads != 0 {
 		w.opts.Reads = run.reads
 		w.opts.LeaseTicks = run.leaseTicks
+	}
+	if run.serialApply {
+		w.opts.SerialApply = true
 	}
 	if run.useWAL {
 		dir := t.TempDir()
@@ -318,10 +388,32 @@ func runLin(t *testing.T, run linRun) {
 		if err := cluster.Reconfigure(ctx, rotations[i%len(rotations)]); err == nil {
 			stats.Reconfigs++
 		} else {
+			t.Logf("floor reconfigure attempt %d: %v", i, err)
 			time.Sleep(100 * time.Millisecond)
 		}
 	}
 	if stats.Reconfigs < run.minReconfigs {
+		for _, id := range pool {
+			node := w.node(id)
+			if node == nil {
+				t.Logf("node %s: crashed/stopped", id)
+				continue
+			}
+			node.mu.Lock()
+			var engs []string
+			for eid, run := range node.engines {
+				es := run.eng.Stats()
+				ldr, isLdr := run.eng.Leader()
+				engs = append(engs, fmt.Sprintf("cfg%d:{buffered=%d leader=%s(%v) decided=%d props=%d elections=%d stepdowns=%d dropped=%d}",
+					eid, len(run.buffered), ldr, isLdr, es.Decided, es.Proposals, es.Elections, es.StepDowns, es.DroppedInbound))
+			}
+			t.Logf("node %s: curID=%d init=%v applied=%d epoch=%d pending=%d waiters=%d applyCh=%d engines=%v stats={applied:%d viol:%d stale:%d wedges:%d resub:%d}",
+				id, node.curID, node.initialized, node.appliedSlot, node.epoch,
+				len(node.pending), len(node.readWaiters), len(node.applyCh), engs,
+				node.stats.applied, node.stats.violations, node.stats.staleJumps,
+				node.stats.wedges, node.stats.resubmits)
+			node.mu.Unlock()
+		}
 		t.Fatalf("only %d reconfigurations (need %d); seed %d", stats.Reconfigs, run.minReconfigs, seed)
 	}
 
@@ -453,6 +545,53 @@ func TestLinearizabilityReadHeavyLease(t *testing.T) {
 		steps:        6,
 		minReconfigs: 1,
 		reads:        ReadModeLease,
+	})
+}
+
+// TestLinearizabilityWriteHeavyParallelApply is the parallel-apply
+// correctness run: a 90%-write KV load across 64 keys (many shards) while the
+// nemesis churns reconfigurations and crash-restarts nodes. Parallel apply is
+// on (the default); every reply released before a shard worker finished, and
+// every decided batch surviving a wedge half-applied, would be a
+// counterexample here.
+func TestLinearizabilityWriteHeavyParallelApply(t *testing.T) {
+	runLin(t, linRun{
+		workload:     kvWriteHeavyWorkload(),
+		kinds:        []nemesis.Kind{nemesis.KindReconfigure, nemesis.KindCrashRestart},
+		seed:         909,
+		clients:      4,
+		steps:        6,
+		minReconfigs: 1,
+	})
+}
+
+// TestLinearizabilityWriteHeavyBankParallelApply runs the transfer-skewed
+// bank under the same churn: transfers are cross-shard barriers, so this is
+// the case where the apply stage must drain all shard workers before the
+// barrier op and before every wedge snapshot — conservation violations or
+// stale Totals would fail the check.
+func TestLinearizabilityWriteHeavyBankParallelApply(t *testing.T) {
+	runLin(t, linRun{
+		workload:     bankWriteHeavyWorkload(),
+		kinds:        []nemesis.Kind{nemesis.KindReconfigure, nemesis.KindCrashRestart},
+		seed:         1010,
+		clients:      4,
+		steps:        6,
+		minReconfigs: 1,
+	})
+}
+
+// TestLinearizabilityWriteHeavySerialAblation pins the same write-heavy load
+// to the SerialApply ablation path, keeping the coupled decide/apply code
+// honest while it exists as the W1 baseline.
+func TestLinearizabilityWriteHeavySerialAblation(t *testing.T) {
+	runLin(t, linRun{
+		workload:    kvWriteHeavyWorkload(),
+		kinds:       []nemesis.Kind{nemesis.KindReconfigure, nemesis.KindPartition},
+		seed:        1111,
+		clients:     4,
+		steps:       6,
+		serialApply: true,
 	})
 }
 

@@ -4,8 +4,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/paxos"
@@ -65,6 +67,19 @@ type Options struct {
 	// machine synchronously under the node mutex, and joiners pull the
 	// snapshot as a single chunk. The paper's design keeps it false.
 	MonolithicTransfer bool
+	// SerialApply restores the pre-pipelining apply stage: every decision
+	// executes one command at a time under the node mutex, coupled to
+	// proposals, reads and housekeeping. Ablation switch for the write-path
+	// experiments (W1); the design keeps it false, which decouples apply
+	// from the mutex and fans decided batches out to per-shard workers on
+	// machines that support it.
+	SerialApply bool
+	// ApplyQueue bounds the decision queue between the engines and the
+	// apply stage. When the apply stage cannot drain it, engine consumers
+	// block (decisions are never dropped) and the node counts an apply
+	// stall — visible in NodeStats and via a rate-limited warning. Default
+	// 8192.
+	ApplyQueue int
 }
 
 // ReadMode selects the serving strategy for read-only ops. Values start at 1
@@ -104,6 +119,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.PendingMaxRetries <= 0 {
 		o.PendingMaxRetries = 2000
+	}
+	if o.ApplyQueue <= 0 {
+		o.ApplyQueue = 8192
 	}
 	if o.Reads == 0 {
 		o.Reads = ReadModeIndex
@@ -190,6 +208,9 @@ type NodeStats struct {
 	ReadFallbacks       int64 // fast-path reads that fell back to the log
 	ReadFenced          int64 // fast-path reads refused by wedge fencing
 	DroppedInbound      int64 // engine inbox overflows, summed over engines
+	ApplyQueueDepth     int64 // decisions queued for the apply stage right now
+	ApplyQueueHighWater int64 // max observed apply queue depth
+	ApplyStalls         int64 // engine consumers blocked on a full apply queue
 }
 
 // Node is one process's reconfigurable-SMR runtime: it hosts the static
@@ -204,7 +225,15 @@ type Node struct {
 	opts    Options
 	peer    *rpc.Peer
 
-	mu          sync.Mutex
+	mu sync.Mutex
+	// execMu guards the machine's *content* during command execution. The
+	// apply stage takes it exclusively — without mu — while it executes a
+	// decided segment, so proposals and housekeeping proceed under mu
+	// meanwhile; paths that read machine state under mu (submit dedup,
+	// fast-path reads) additionally take it shared so they never observe a
+	// half-applied batch. Lock order: mu before execMu; the apply stage
+	// never acquires mu while holding execMu.
+	execMu      sync.RWMutex
 	machine     *statemachine.Sessioned
 	initConfig  types.Config
 	configs     map[types.ConfigID]types.Config
@@ -212,6 +241,13 @@ type Node struct {
 	curID       types.ConfigID
 	initialized bool // machine state is valid for curID; applying allowed
 	appliedSlot types.Slot
+	// epoch counts configuration transitions and snapshot installs. The
+	// apply stage records it before releasing mu to execute a segment and
+	// re-checks it before committing the results: a changed epoch means the
+	// machine it mutated was abandoned (replaced by a snapshot install or a
+	// configuration jump), so the results are discarded — re-submission
+	// plus session dedup re-derives them.
+	epoch       int64
 	engines     map[types.ConfigID]*engineRun
 	pending     map[pendKey]*pendingCmd
 	readWaiters []*readWaiter   // fast-path reads awaiting their index
@@ -230,12 +266,20 @@ type Node struct {
 	// corruption. Guarded by mu.
 	testChunkHook func(id types.ConfigID, idx int, data []byte) []byte
 
-	applyCh    chan taggedDecision
+	applyCh chan taggedDecision
+	// pumpCh nudges the apply loop to re-run its pump without a new
+	// decision arriving (e.g. after a snapshot install unblocks buffered
+	// decisions). Capacity 1; sends are non-blocking.
+	pumpCh     chan struct{}
 	stopCh     chan struct{}
 	stopOnce   sync.Once
 	wg         sync.WaitGroup
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
+
+	applyStalls    atomic.Int64
+	applyHighWater atomic.Int64
+	lastStallWarn  atomic.Int64
 
 	stats struct {
 		applied, duplicates, wedges, staleJumps int64
@@ -255,19 +299,21 @@ func NewNode(nc NodeConfig) (*Node, error) {
 		return nil, fmt.Errorf("reconfig: incomplete NodeConfig")
 	}
 	ctx, cancel := context.WithCancel(context.Background())
+	opts := nc.Opts.withDefaults()
 	n := &Node{
 		self:       nc.Self,
 		ep:         nc.Endpoint,
 		store:      nc.Store,
 		factory:    nc.Factory,
-		opts:       nc.Opts.withDefaults(),
+		opts:       opts,
 		configs:    make(map[types.ConfigID]types.Config),
 		chain:      make(map[types.ConfigID]ChainRecord),
 		engines:    make(map[types.ConfigID]*engineRun),
 		pending:    make(map[pendKey]*pendingCmd),
 		serving:    make(map[types.ConfigID]*snapServing),
 		rng:        rand.New(rand.NewSource(seedFor(string(nc.Self)))),
-		applyCh:    make(chan taggedDecision, 8192),
+		applyCh:    make(chan taggedDecision, opts.ApplyQueue),
+		pumpCh:     make(chan struct{}, 1),
 		stopCh:     make(chan struct{}),
 		baseCtx:    ctx,
 		baseCancel: cancel,
@@ -442,15 +488,51 @@ func (n *Node) ensureEngineLocked(id types.ConfigID) error {
 }
 
 // consumeEngine forwards one engine's decisions into the shared apply queue.
+// A full queue means the apply stage is the bottleneck: the consumer blocks
+// (decisions are never dropped — the engine contract is gap-free delivery)
+// and the stall is counted and warned about, mirroring the engine's own
+// DroppedInbound visibility.
 func (n *Node) consumeEngine(run *engineRun) {
 	defer n.wg.Done()
 	defer close(run.done)
 	for d := range run.eng.Decisions() {
+		td := taggedDecision{id: run.id, dec: d}
 		select {
-		case n.applyCh <- taggedDecision{id: run.id, dec: d}:
-		case <-n.stopCh:
+		case n.applyCh <- td:
+		default:
+			n.applyStalls.Add(1)
+			n.warnApplyStall()
+			select {
+			case n.applyCh <- td:
+			case <-n.stopCh:
+				return
+			}
+		}
+		n.noteApplyDepth()
+	}
+}
+
+// noteApplyDepth tracks the apply queue's high-water mark.
+func (n *Node) noteApplyDepth() {
+	depth := int64(len(n.applyCh))
+	for {
+		hw := n.applyHighWater.Load()
+		if depth <= hw || n.applyHighWater.CompareAndSwap(hw, depth) {
 			return
 		}
+	}
+}
+
+// warnApplyStall logs at most once per second that the apply queue is full.
+func (n *Node) warnApplyStall() {
+	now := time.Now().UnixNano()
+	last := n.lastStallWarn.Load()
+	if now-last < int64(time.Second) {
+		return
+	}
+	if n.lastStallWarn.CompareAndSwap(last, now) {
+		log.Printf("reconfig: %s apply queue full (cap %d, %d stalls so far); the apply stage is the bottleneck",
+			n.self, cap(n.applyCh), n.applyStalls.Load())
 	}
 }
 
@@ -553,6 +635,9 @@ func (n *Node) Stats() NodeStats {
 		ReadFallbacks:       fallback,
 		ReadFenced:          fenced,
 		DroppedInbound:      dropped,
+		ApplyQueueDepth:     int64(len(n.applyCh)),
+		ApplyQueueHighWater: n.applyHighWater.Load(),
+		ApplyStalls:         n.applyStalls.Load(),
 	}
 }
 
@@ -564,8 +649,10 @@ func (n *Node) Machine() *statemachine.Sessioned {
 	return n.machine
 }
 
-// notifyTransitionLocked wakes everyone waiting for a configuration change.
+// notifyTransitionLocked wakes everyone waiting for a configuration change
+// and advances the epoch that invalidates in-flight off-mutex apply work.
 func (n *Node) notifyTransitionLocked() {
+	n.epoch++
 	for _, ch := range n.cfgWaiters {
 		close(ch)
 	}

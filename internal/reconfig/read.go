@@ -130,8 +130,14 @@ func (n *Node) readFencedLocked(readCfg types.ConfigID) bool {
 }
 
 // serveReadLocked answers a read from local state and builds the reply.
+// execMu (shared) orders the read after any off-mutex apply segment in
+// flight: by the time the apply cursor covers the read's index the commit
+// ran under n.mu, so state at least that fresh — and never a half-applied
+// batch — is what the read observes.
 func (n *Node) serveReadLocked(cmd types.Command) []byte {
+	n.execMu.RLock()
 	reply := n.machine.ApplyRead(cmd.Data)
+	n.execMu.RUnlock()
 	n.reads.Fast.Add(1)
 	return encodeSubmitReply(submitReply{
 		Status: SubmitApplied,

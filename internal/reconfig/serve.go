@@ -105,12 +105,19 @@ func (n *Node) handleSubmit(cmd types.Command, respond func([]byte)) {
 		return
 	}
 	// Duplicate of an already-executed command: answer from the session
-	// table without touching the log.
-	if cmd.Seq <= n.machine.LastSeq(cmd.Client) {
-		reply, _ := n.machine.ApplyCommand(cmd) // dedup path: no mutation
+	// table without touching the log. execMu (shared) keeps the session
+	// lookup from racing an off-mutex apply segment.
+	n.execMu.RLock()
+	isDup := cmd.Seq <= n.machine.LastSeq(cmd.Client)
+	var dupReply []byte
+	if isDup {
+		dupReply, _ = n.machine.ApplyCommand(cmd) // dedup path: no mutation
+	}
+	n.execMu.RUnlock()
+	if isDup {
 		respond(encodeSubmitReply(submitReply{
 			Status: SubmitApplied,
-			Reply:  reply,
+			Reply:  dupReply,
 			Config: cur,
 			Leader: n.leaderHintLocked(),
 		}))

@@ -547,7 +547,13 @@ func (n *Node) installChunks(id types.ConfigID, m storage.ChunkManifest, chunks 
 	}
 	n.resubmitPendingLocked(true)
 	n.notifyTransitionLocked()
-	n.pumpLocked()
+	// Nudge the apply loop: decisions buffered while uninitialized are now
+	// ready. Only the apply loop runs the mutex-dropping pump, so this
+	// fetch goroutine must not pump inline.
+	select {
+	case n.pumpCh <- struct{}{}:
+	default:
+	}
 }
 
 func (n *Node) countViolation() {

@@ -33,12 +33,15 @@ const (
 type Bank struct {
 	shards [numShards]map[string]uint64
 	shared [numShards]bool
-	size   int
+	// sizes[i] is the account count of shard i — per shard so BankOpen on
+	// distinct shards never writes a common field under parallel apply.
+	sizes [numShards]int
 }
 
 var (
 	_ Machine            = (*Bank)(nil)
 	_ ChunkedSnapshotter = (*Bank)(nil)
+	_ ShardedApplier     = (*Bank)(nil)
 )
 
 // NewBank returns an empty bank machine.
@@ -143,7 +146,7 @@ func (m *Bank) Apply(op []byte) []byte {
 			return statusReply(StatusConflict)
 		}
 		m.mutable(acct)[acct] = initial
-		m.size++
+		m.sizes[shardOf(acct)]++
 		return okReply(nil)
 	case BankDeposit:
 		acct := r.String()
@@ -198,7 +201,11 @@ func (m *Bank) Apply(op []byte) []byte {
 // Snapshot implements Machine (accounts in globally sorted order, matching
 // the pre-sharding byte format).
 func (m *Bank) Snapshot() []byte {
-	names := make([]string, 0, m.size)
+	n := 0
+	for i := range m.sizes {
+		n += m.sizes[i]
+	}
+	names := make([]string, 0, n)
 	for i := range m.shards {
 		for a := range m.shards[i] {
 			names = append(names, a)
@@ -238,7 +245,9 @@ func (m *Bank) Restore(snapshot []byte) error {
 	}
 	m.shards = shards
 	m.shared = [numShards]bool{}
-	m.size = int(n)
+	for i := range shards {
+		m.sizes[i] = len(shards[i])
+	}
 	return nil
 }
 
@@ -301,9 +310,9 @@ func (m *Bank) RestoreChunk(index int, data []byte) error {
 	if r.Remaining() != 0 {
 		return fmt.Errorf("%w: trailing bytes in bank chunk %d", types.ErrCodec, index)
 	}
-	m.size += len(sh) - len(m.shards[index])
 	m.shards[index] = sh
 	m.shared[index] = false
+	m.sizes[index] = len(sh)
 	return nil
 }
 
@@ -314,6 +323,31 @@ func (m *Bank) FinishRestore(total int) error {
 	}
 	return nil
 }
+
+// OpShard implements ShardedApplier. Single-account ops report their
+// account's shard. BankTransfer touches two accounts and BankTotal scans
+// every shard, so both are barriers (as is anything malformed or unknown) —
+// the conservation invariant depends on a transfer never interleaving with
+// ops on either endpoint's shard.
+func (m *Bank) OpShard(op []byte) (int, bool) {
+	if len(op) == 0 {
+		return 0, false
+	}
+	switch BankOp(op[0]) {
+	case BankOpen, BankDeposit, BankBalance:
+		r := types.NewReader(op[1:])
+		acct := r.String()
+		if r.Err() != nil {
+			return 0, false
+		}
+		return shardOf(acct), true
+	default:
+		return 0, false
+	}
+}
+
+// NumShards implements ShardedApplier.
+func (m *Bank) NumShards() int { return numShards }
 
 // Total returns the sum of all balances (test helper, mirrors BankTotal).
 func (m *Bank) Total() uint64 {

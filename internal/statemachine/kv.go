@@ -38,12 +38,16 @@ type KVStore struct {
 	// shared[i] means shards[i] may be referenced by an outstanding
 	// snapshot fork and must be cloned before mutation.
 	shared [numShards]bool
-	size   int
+	// sizes[i] is the key count of shard i. Kept per shard (not one global
+	// counter) so single-key ops running on distinct shards under parallel
+	// apply never write a common field; aggregate queries sum it.
+	sizes [numShards]int
 }
 
 var (
 	_ Machine            = (*KVStore)(nil)
 	_ ChunkedSnapshotter = (*KVStore)(nil)
+	_ ShardedApplier     = (*KVStore)(nil)
 )
 
 // NewKVStore returns an empty key/value machine.
@@ -164,7 +168,7 @@ func (m *KVStore) Apply(op []byte) []byte {
 		}
 		sh := m.mutable(key)
 		if _, ok := sh[key]; !ok {
-			m.size++
+			m.sizes[shardOf(key)]++
 		}
 		sh[key] = val
 		return okReply(nil)
@@ -185,7 +189,7 @@ func (m *KVStore) Apply(op []byte) []byte {
 		}
 		if _, ok := m.get(key); ok {
 			delete(m.mutable(key), key)
-			m.size--
+			m.sizes[shardOf(key)]--
 		}
 		return okReply(nil)
 	case KVAppend:
@@ -197,7 +201,7 @@ func (m *KVStore) Apply(op []byte) []byte {
 		sh := m.mutable(key)
 		cur, ok := sh[key]
 		if !ok {
-			m.size++
+			m.sizes[shardOf(key)]++
 		}
 		next := make([]byte, 0, len(cur)+len(suffix))
 		next = append(next, cur...)
@@ -248,7 +252,7 @@ func (m *KVStore) Apply(op []byte) []byte {
 		return okReply(w.Bytes())
 	case KVSize:
 		w := types.NewWriter(4)
-		w.Uvarint(uint64(m.size))
+		w.Uvarint(uint64(m.Len()))
 		return okReply(w.Bytes())
 	default:
 		return statusReply(StatusBadOp)
@@ -259,7 +263,7 @@ func (m *KVStore) Apply(op []byte) []byte {
 // snapshots are byte-identical across replicas with equal state (and
 // byte-identical to the pre-sharding format).
 func (m *KVStore) Snapshot() []byte {
-	keys := make([]string, 0, m.size)
+	keys := make([]string, 0, m.Len())
 	total := 0
 	for i := range m.shards {
 		for k, v := range m.shards[i] {
@@ -301,7 +305,9 @@ func (m *KVStore) Restore(snapshot []byte) error {
 	}
 	m.shards = shards
 	m.shared = [numShards]bool{}
-	m.size = int(n)
+	for i := range shards {
+		m.sizes[i] = len(shards[i])
+	}
 	return nil
 }
 
@@ -373,9 +379,9 @@ func (m *KVStore) RestoreChunk(index int, data []byte) error {
 	if r.Remaining() != 0 {
 		return fmt.Errorf("%w: trailing bytes in kv chunk %d", types.ErrCodec, index)
 	}
-	m.size += len(sh) - len(m.shards[index])
 	m.shards[index] = sh
 	m.shared[index] = false
+	m.sizes[index] = len(sh)
 	return nil
 }
 
@@ -388,7 +394,36 @@ func (m *KVStore) FinishRestore(total int) error {
 }
 
 // Len returns the number of keys, for tests and state-size accounting.
-func (m *KVStore) Len() int { return m.size }
+func (m *KVStore) Len() int {
+	n := 0
+	for i := range m.sizes {
+		n += m.sizes[i]
+	}
+	return n
+}
+
+// OpShard implements ShardedApplier. Single-key ops report the shard of
+// their key; KVKeys and KVSize scan every shard, so they (and anything
+// malformed or unknown) are barriers.
+func (m *KVStore) OpShard(op []byte) (int, bool) {
+	if len(op) == 0 {
+		return 0, false
+	}
+	switch KVOp(op[0]) {
+	case KVPut, KVGet, KVDelete, KVAppend, KVCAS:
+		r := types.NewReader(op[1:])
+		key := r.String()
+		if r.Err() != nil {
+			return 0, false
+		}
+		return shardOf(key), true
+	default:
+		return 0, false
+	}
+}
+
+// NumShards implements ShardedApplier.
+func (m *KVStore) NumShards() int { return numShards }
 
 // DecodeKeysReply parses the payload of a successful KVKeys reply.
 func DecodeKeysReply(payload []byte) ([]string, error) {

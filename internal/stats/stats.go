@@ -36,6 +36,7 @@ type Summary struct {
 	Count            int
 	Mean             time.Duration
 	P50, P95, P99    time.Duration
+	P999             time.Duration
 	Min, Max         time.Duration
 	TotalDurationSum time.Duration
 }
@@ -67,6 +68,7 @@ func Summarize(samples []time.Duration) Summary {
 		P50:              percentile(sorted, 0.50),
 		P95:              percentile(sorted, 0.95),
 		P99:              percentile(sorted, 0.99),
+		P999:             percentile(sorted, 0.999),
 		Min:              sorted[0],
 		Max:              sorted[len(sorted)-1],
 		TotalDurationSum: sum,
@@ -91,9 +93,10 @@ func percentile(sorted []time.Duration, p float64) time.Duration {
 
 // String implements fmt.Stringer.
 func (s Summary) String() string {
-	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v p99=%v max=%v",
+	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v p99=%v p999=%v max=%v",
 		s.Count, s.Mean.Round(time.Microsecond), s.P50.Round(time.Microsecond),
-		s.P95.Round(time.Microsecond), s.P99.Round(time.Microsecond), s.Max.Round(time.Microsecond))
+		s.P95.Round(time.Microsecond), s.P99.Round(time.Microsecond),
+		s.P999.Round(time.Microsecond), s.Max.Round(time.Microsecond))
 }
 
 // Timeline records event timestamps and reports them as a binned series —

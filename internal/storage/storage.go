@@ -46,6 +46,18 @@ type Store interface {
 // ErrStoreClosed is returned by operations on a closed store.
 var ErrStoreClosed = errors.New("storage: closed")
 
+// BufferedStore is implemented by stores that can stage a write without the
+// per-call durability wait, making the next Sync the durability barrier.
+// Callers that batch many writes per fsync — the Paxos event loop's group
+// commit — probe for it with a type assertion and fall back to plain Set.
+type BufferedStore interface {
+	Store
+	// SetBuffered writes key=value visibly (read-your-writes, like an OS
+	// page cache) but possibly non-durably, regardless of the store's sync
+	// mode; the write reaches stable state on the next Sync.
+	SetBuffered(key string, value []byte) error
+}
+
 // MemOptions configures a MemStore.
 type MemOptions struct {
 	// AutoSync makes every write immediately stable (default behaviour
@@ -70,7 +82,7 @@ type MemStore struct {
 	syncs  int64
 }
 
-var _ Store = (*MemStore)(nil)
+var _ BufferedStore = (*MemStore)(nil)
 
 // NewMem returns a store where every write is immediately stable.
 func NewMem() *MemStore {
@@ -112,6 +124,23 @@ func (s *MemStore) Set(key string, value []byte) error {
 	}
 	v := cp
 	s.dirty[key] = &v
+	return nil
+}
+
+// SetBuffered implements BufferedStore: the write is staged in the dirty
+// buffer even with AutoSync on, and becomes stable on the next Sync.
+func (s *MemStore) SetBuffered(key string, value []byte) error {
+	if s.opts.WriteLatency > 0 {
+		time.Sleep(s.opts.WriteLatency)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrStoreClosed
+	}
+	cp := clone(value)
+	s.writes++
+	s.dirty[key] = &cp
 	return nil
 }
 

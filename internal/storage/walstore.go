@@ -44,7 +44,7 @@ type WALStore struct {
 	closed     bool
 }
 
-var _ Store = (*WALStore)(nil)
+var _ BufferedStore = (*WALStore)(nil)
 
 // WALStoreOptions configures a WALStore.
 type WALStoreOptions struct {
@@ -170,6 +170,26 @@ func (s *WALStore) Set(key string, value []byte) error {
 			return err
 		}
 	}
+	s.maybeCompact()
+	return nil
+}
+
+// SetBuffered implements BufferedStore: the record is appended and visible
+// immediately, but the group-commit wait is skipped even with SyncWrites on.
+// The caller's next Sync is the durability barrier — the Paxos event loop
+// uses this to share one fsync across every write of a burst.
+func (s *WALStore) SetBuffered(key string, value []byte) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrStoreClosed
+	}
+	if _, err := s.append(walOpSet, key, value); err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	s.state[key] = clone(value)
+	s.mu.Unlock()
 	s.maybeCompact()
 	return nil
 }
