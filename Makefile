@@ -40,6 +40,12 @@ bench-snapshot:
 bench-write:
 	$(GO) test -run '^$$' -bench 'PipelineDepth|ParallelApply' -benchtime 1x .
 
+# Sharded-runtime smoke: one pass of the S1 group-count sweep (1 vs 8 groups
+# over shared TCP+WAL, routed write load). The full 1/2/4/8 table with the
+# fsync-coalescing columns lives in `rsmbench -exp shard`.
+bench-shard:
+	$(GO) test -run '^$$' -bench ShardScaling -benchtime 1x .
+
 vet:
 	$(GO) vet ./...
 

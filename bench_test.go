@@ -321,6 +321,29 @@ func BenchmarkParallelApply(b *testing.B) {
 	}
 }
 
+// BenchmarkShardScaling — Table S1 smoke behind `make bench-shard`: the
+// multi-group sharded runtime at 1 vs 8 groups over shared TCP-style
+// transport and one fsynced WAL per process. Headline metrics are the
+// aggregate routed write throughput per group count and the fsync
+// coalescing ratio (group commits per physical fsync) at 8 groups. The
+// full 1/2/4/8 table lives in `rsmbench -exp shard`.
+func BenchmarkShardScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := harness.RunShardScaling(tuning(), []int{1, 8}, benchRunDur, 64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Log("\n" + res.Render())
+		for _, row := range res.Rows {
+			b.ReportMetric(row.Throughput, fmt.Sprintf("ops/s/groups%d", row.Groups))
+			if row.SyncsPerOp > 0 {
+				b.ReportMetric(row.GroupCommitsPerOp/row.SyncsPerOp,
+					fmt.Sprintf("gc-per-sync/groups%d", row.Groups))
+			}
+		}
+	}
+}
+
 // BenchmarkR1ReadScaling — Table R1: linearizable read fast path, serving
 // mode x read ratio at n=3 on the durable WAL backend.
 func BenchmarkR1ReadScaling(b *testing.B) {

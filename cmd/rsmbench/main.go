@@ -9,7 +9,7 @@
 //	rsmbench -exp read          # read fast path: mode x read-ratio sweep
 //	rsmbench -exp write         # write path: pipeline depth x apply mode sweep
 //
-// Experiment IDs: t1 t1d f1 t2 f2 t3 f3 t4 f4 t5 f5 lin read write (see DESIGN.md §4).
+// Experiment IDs: t1 t1d f1 t2 f2 t3 f3 t4 f4 t5 f5 lin read write shard (see DESIGN.md §4).
 package main
 
 import (
@@ -30,7 +30,7 @@ func main() {
 
 func run() int {
 	var (
-		exp     = flag.String("exp", "all", "experiment ID (t1,t1d,f1,t2,f2,t3,f3,t4,f4,t5,f5,lin,read,write or all)")
+		exp     = flag.String("exp", "all", "experiment ID (t1,t1d,f1,t2,f2,t3,f3,t4,f4,t5,f5,lin,read,write,shard or all)")
 		dur     = flag.Duration("dur", 2*time.Second, "load duration per run")
 		clients = flag.Int("clients", 4, "closed-loop client count")
 		seed    = flag.Int64("seed", 1, "nemesis schedule seed (lin experiment)")
@@ -222,6 +222,22 @@ func runOne(id string, tun harness.Tuning, dur time.Duration, clients int, seed 
 			wc = 64
 		}
 		res, err := harness.RunW1WritePath(wt, []int{1, 2, 4, 8, 16}, dur, wc, 4000)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
+	case "shard":
+		// S1 drives the multi-group sharded runtime on the durable WAL
+		// backend: the same 3 processes and client count at every row, only
+		// the group count changes. Enough clients that 8 independent event
+		// loops all stay busy; the interesting columns are aggregate ops/s
+		// (rising with groups on multi-core) and syncs/op (falling — the
+		// shared WAL coalesces fsyncs across groups).
+		sc := clients
+		if sc < 64 {
+			sc = 64
+		}
+		res, err := harness.RunShardScaling(tun, []int{1, 2, 4, 8}, dur, sc)
 		if err != nil {
 			return err
 		}

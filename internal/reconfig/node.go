@@ -211,6 +211,7 @@ type NodeStats struct {
 	ApplyQueueDepth     int64 // decisions queued for the apply stage right now
 	ApplyQueueHighWater int64 // max observed apply queue depth
 	ApplyStalls         int64 // engine consumers blocked on a full apply queue
+	GroupCommits        int64 // engine bursts ending in a group-commit Sync, summed
 }
 
 // Node is one process's reconfigurable-SMR runtime: it hosts the static
@@ -612,9 +613,11 @@ func (n *Node) ChainRecords() []ChainRecord {
 func (n *Node) Stats() NodeStats {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	var dropped int64
+	var dropped, groupCommits int64
 	for _, run := range n.engines {
-		dropped += run.eng.Stats().DroppedInbound
+		es := run.eng.Stats()
+		dropped += es.DroppedInbound
+		groupCommits += es.GroupCommits
 	}
 	fast, fallback, fenced := n.reads.Snapshot()
 	return NodeStats{
@@ -638,6 +641,7 @@ func (n *Node) Stats() NodeStats {
 		ApplyQueueDepth:     int64(len(n.applyCh)),
 		ApplyQueueHighWater: n.applyHighWater.Load(),
 		ApplyStalls:         n.applyStalls.Load(),
+		GroupCommits:        groupCommits,
 	}
 }
 

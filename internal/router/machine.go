@@ -1,0 +1,424 @@
+// Package router implements keyspace scale-out over the multi-group runtime:
+// a hash-partitioned KV router with a generation-stamped shard map, a
+// partition-aware replicated machine that rejects misrouted operations with a
+// client-visible redirect, and a controller that migrates shards between
+// groups.
+//
+// The design follows the FRAPPE platform shape the source paper's composition
+// protocol was built for: many small replicated services (here: one RSM group
+// per set of keyspace partitions) hosted per process over shared transport
+// and a shared WAL. Two migration mechanisms exist:
+//
+//   - Moving a shard's *replicas* is just reconfiguring that shard's group
+//     onto new nodes (Controller.MoveGroup): the paper's reconfiguration
+//     protocol does all the work, state travels via chunked snapshot
+//     transfer, and client sessions move with it. This is the primary,
+//     chaos-tested path.
+//
+//   - Moving a shard *between groups* (Controller.MigrateShard) re-balances
+//     ownership: a fenced Drop on the old owner extracts the partition's
+//     keys, an Adopt on the new owner installs them, and the shard map's
+//     generation advances. Session tables are per group and do not travel
+//     on this path, so a client retrying an un-acked write across a
+//     concurrent cross-group migration may double-apply — a documented
+//     limitation; use MoveGroup where that matters.
+package router
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/statemachine"
+	"repro/internal/types"
+)
+
+// NumShards is the number of hash partitions the router splits the keyspace
+// into — identical to the machines' internal shard count so one router shard
+// is exactly one KVStore shard (and one snapshot chunk).
+const NumShards = statemachine.NumKeyShards
+
+// Router machine opcodes. They live above the KV opcode range so a routed
+// machine can never confuse them with inner operations.
+const (
+	// OpRouted wraps an inner KV op with the shard and map generation the
+	// client routed under: |0x20|shard|gen|inner...|.
+	OpRouted byte = 0x20
+	// OpAdopt installs one shard's extracted data into this group and marks
+	// the shard owned: |0x21|shard|gen|count|(key,value)*|.
+	OpAdopt byte = 0x21
+	// OpDrop removes one shard from this group; the reply carries the
+	// extracted data so the migration can hand it to the new owner:
+	// |0x22|shard|gen|.
+	OpDrop byte = 0x22
+)
+
+// PartitionedKV is the replicated machine each group runs under the router:
+// a KVStore plus a shard-ownership table. Every routed operation is checked
+// against ownership before it touches data; a miss returns StatusMoved with
+// the shard and the generation at which this group last saw it leave, so
+// clients know to refresh their map.
+//
+// PartitionedKV deliberately does NOT implement ShardedApplier even though
+// its inner KVStore does: every routed op reads the ownership table, so
+// parallel apply across kv shards would race Adopt/Drop ownership writes.
+// Cross-group parallelism (N groups, N event loops) is where the multi-group
+// runtime gets its speedup; within a group, applies stay serial.
+type PartitionedKV struct {
+	kv    *statemachine.KVStore
+	owned map[int]uint64 // shard -> generation it was adopted at
+	moved map[int]uint64 // shard -> generation it was dropped at
+}
+
+var (
+	_ statemachine.Machine            = (*PartitionedKV)(nil)
+	_ statemachine.ReadOnlyDetector   = (*PartitionedKV)(nil)
+	_ statemachine.ChunkedSnapshotter = (*PartitionedKV)(nil)
+)
+
+// NewPartitionedKV returns a machine owning the given shards as of gen.
+// Initial ownership is part of the deterministic construction (every replica
+// of a group builds the same machine), exactly like a bootstrap config.
+func NewPartitionedKV(shards []int, gen uint64) *PartitionedKV {
+	m := &PartitionedKV{
+		kv:    statemachine.NewKVStore(),
+		owned: make(map[int]uint64, len(shards)),
+		moved: make(map[int]uint64),
+	}
+	for _, s := range shards {
+		m.owned[s] = gen
+	}
+	return m
+}
+
+// PartitionedFactory returns a Factory producing machines that own shards at
+// gen — one factory per group, closed over that group's initial assignment.
+func PartitionedFactory(shards []int, gen uint64) statemachine.Factory {
+	owned := append([]int(nil), shards...)
+	return func() statemachine.Machine { return NewPartitionedKV(owned, gen) }
+}
+
+// Pair is one key/value pair in a shard extraction or adoption.
+type Pair struct {
+	Key   string
+	Value []byte
+}
+
+// EncodeRouted wraps an inner KV op for shard under map generation gen.
+func EncodeRouted(shard int, gen uint64, inner []byte) []byte {
+	w := types.NewWriter(12 + len(inner))
+	w.Byte(OpRouted)
+	w.Uvarint(uint64(shard))
+	w.Uvarint(gen)
+	w.BytesField(inner)
+	return w.Bytes()
+}
+
+// EncodeAdopt encodes an adopt op installing data (sorted key/value pairs).
+func EncodeAdopt(shard int, gen uint64, pairs []Pair) []byte {
+	w := types.NewWriter(16)
+	w.Byte(OpAdopt)
+	w.Uvarint(uint64(shard))
+	w.Uvarint(gen)
+	w.Uvarint(uint64(len(pairs)))
+	for _, p := range pairs {
+		w.String(p.Key)
+		w.BytesField(p.Value)
+	}
+	return w.Bytes()
+}
+
+// EncodeDrop encodes a drop op fencing shard at gen.
+func EncodeDrop(shard int, gen uint64) []byte {
+	w := types.NewWriter(12)
+	w.Byte(OpDrop)
+	w.Uvarint(uint64(shard))
+	w.Uvarint(gen)
+	return w.Bytes()
+}
+
+// MovedReply decodes a StatusMoved reply into the shard and the generation
+// the serving group last associated with it (0 if it never owned the shard).
+func MovedReply(reply []byte) (shard int, gen uint64, ok bool) {
+	if statemachine.ReplyStatus(reply) != statemachine.StatusMoved {
+		return 0, 0, false
+	}
+	r := types.NewReader(statemachine.ReplyPayload(reply))
+	s := r.Uvarint()
+	g := r.Uvarint()
+	if r.Err() != nil {
+		return 0, 0, false
+	}
+	return int(s), g, true
+}
+
+// DropReply decodes a successful OpDrop reply into the extracted pairs.
+func DropReply(reply []byte) ([]Pair, error) {
+	if st := statemachine.ReplyStatus(reply); st != statemachine.StatusOK {
+		return nil, fmt.Errorf("router: drop reply status %v", st)
+	}
+	r := types.NewReader(statemachine.ReplyPayload(reply))
+	n := r.Uvarint()
+	pairs := make([]Pair, 0, n)
+	for i := uint64(0); i < n; i++ {
+		k := r.String()
+		v := r.BytesField()
+		if r.Err() != nil {
+			break
+		}
+		pairs = append(pairs, Pair{Key: k, Value: v})
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return pairs, nil
+}
+
+func movedReply(shard int, gen uint64) []byte {
+	w := types.NewWriter(12)
+	w.Byte(byte(statemachine.StatusMoved))
+	w.Uvarint(uint64(shard))
+	w.Uvarint(gen)
+	return w.Bytes()
+}
+
+func badOp() []byte { return []byte{byte(statemachine.StatusBadOp)} }
+
+// ReadOnly implements ReadOnlyDetector: a routed op is read-only iff its
+// inner op is (the ownership check reads but never writes), so routed gets
+// still ride the linearizable read fast path. Adopt/Drop always mutate.
+func (m *PartitionedKV) ReadOnly(op []byte) bool {
+	if len(op) < 1 || op[0] != OpRouted {
+		return false
+	}
+	r := types.NewReader(op[1:])
+	r.Uvarint() // shard
+	r.Uvarint() // gen
+	inner := r.BytesField()
+	if r.Err() != nil {
+		return false
+	}
+	return m.kv.ReadOnly(inner)
+}
+
+// Apply implements Machine. Only router opcodes are accepted: unrouted KV
+// ops would bypass the ownership check and silently serve keys this group no
+// longer owns, so they are rejected outright.
+func (m *PartitionedKV) Apply(op []byte) []byte {
+	if len(op) == 0 {
+		return badOp()
+	}
+	switch op[0] {
+	case OpRouted:
+		r := types.NewReader(op[1:])
+		shard := int(r.Uvarint())
+		r.Uvarint() // client's map generation; informational
+		inner := r.BytesField()
+		if r.Err() != nil || shard < 0 || shard >= NumShards {
+			return badOp()
+		}
+		if _, ok := m.owned[shard]; !ok {
+			return movedReply(shard, m.moved[shard])
+		}
+		return m.kv.Apply(inner)
+	case OpAdopt:
+		r := types.NewReader(op[1:])
+		shard := int(r.Uvarint())
+		gen := r.Uvarint()
+		n := r.Uvarint()
+		if r.Err() != nil || shard < 0 || shard >= NumShards {
+			return badOp()
+		}
+		if cur, ok := m.owned[shard]; ok && cur >= gen {
+			return okStatus() // duplicate adopt; already current
+		}
+		for i := uint64(0); i < n; i++ {
+			k := r.String()
+			v := r.BytesField()
+			if r.Err() != nil {
+				return badOp()
+			}
+			if statemachine.KeyShard(k) != shard {
+				return badOp()
+			}
+			m.kv.Apply(statemachine.EncodePut(k, v))
+		}
+		m.owned[shard] = gen
+		delete(m.moved, shard)
+		return okStatus()
+	case OpDrop:
+		r := types.NewReader(op[1:])
+		shard := int(r.Uvarint())
+		gen := r.Uvarint()
+		if r.Err() != nil || shard < 0 || shard >= NumShards {
+			return badOp()
+		}
+		if _, ok := m.owned[shard]; !ok {
+			// Already dropped (migration retry); the extracted data was in
+			// the first drop's reply, which session dedup re-serves. A fresh
+			// (client,seq) landing here gets an empty extraction.
+			return m.encodeExtract(nil)
+		}
+		pairs := m.extractShard(shard)
+		delete(m.owned, shard)
+		if gen > m.moved[shard] {
+			m.moved[shard] = gen
+		}
+		return m.encodeExtract(pairs)
+	default:
+		return badOp()
+	}
+}
+
+// extractShard removes and returns shard's pairs, sorted by key so the reply
+// is deterministic across replicas.
+func (m *PartitionedKV) extractShard(shard int) []Pair {
+	var pairs []Pair
+	m.kv.Range(func(k string, v []byte) bool {
+		if statemachine.KeyShard(k) == shard {
+			pairs = append(pairs, Pair{Key: k, Value: v})
+		}
+		return true
+	})
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].Key < pairs[j].Key })
+	for _, p := range pairs {
+		m.kv.Apply(statemachine.EncodeDelete(p.Key))
+	}
+	return pairs
+}
+
+func (m *PartitionedKV) encodeExtract(pairs []Pair) []byte {
+	w := types.NewWriter(16)
+	w.Byte(byte(statemachine.StatusOK))
+	w.Uvarint(uint64(len(pairs)))
+	for _, p := range pairs {
+		w.String(p.Key)
+		w.BytesField(p.Value)
+	}
+	return w.Bytes()
+}
+
+func okStatus() []byte { return []byte{byte(statemachine.StatusOK)} }
+
+// OwnedShards returns the owned shard indices, ascending (test/report use).
+func (m *PartitionedKV) OwnedShards() []int {
+	out := make([]int, 0, len(m.owned))
+	for s := range m.owned {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// KV exposes the inner store for test inspection.
+func (m *PartitionedKV) KV() *statemachine.KVStore { return m.kv }
+
+// encodeOwnership serializes the ownership tables (sorted, deterministic).
+func (m *PartitionedKV) encodeOwnership() []byte {
+	w := types.NewWriter(16 + 4*(len(m.owned)+len(m.moved)))
+	writeTable := func(t map[int]uint64) {
+		keys := make([]int, 0, len(t))
+		for s := range t {
+			keys = append(keys, s)
+		}
+		sort.Ints(keys)
+		w.Uvarint(uint64(len(keys)))
+		for _, s := range keys {
+			w.Uvarint(uint64(s))
+			w.Uvarint(t[s])
+		}
+	}
+	writeTable(m.owned)
+	writeTable(m.moved)
+	return w.Bytes()
+}
+
+func (m *PartitionedKV) decodeOwnership(data []byte) error {
+	r := types.NewReader(data)
+	readTable := func() map[int]uint64 {
+		n := r.Uvarint()
+		t := make(map[int]uint64, n)
+		for i := uint64(0); i < n; i++ {
+			s := r.Uvarint()
+			g := r.Uvarint()
+			t[int(s)] = g
+		}
+		return t
+	}
+	owned := readTable()
+	moved := readTable()
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("router: ownership chunk: %w", err)
+	}
+	if r.Remaining() != 0 {
+		return fmt.Errorf("%w: trailing bytes in ownership chunk", types.ErrCodec)
+	}
+	m.owned = owned
+	m.moved = moved
+	return nil
+}
+
+// Snapshot implements Machine: ownership tables followed by the inner store.
+func (m *PartitionedKV) Snapshot() []byte {
+	own := m.encodeOwnership()
+	inner := m.kv.Snapshot()
+	w := types.NewWriter(8 + len(own) + len(inner))
+	w.BytesField(own)
+	w.BytesField(inner)
+	return w.Bytes()
+}
+
+// Restore implements Machine.
+func (m *PartitionedKV) Restore(snapshot []byte) error {
+	r := types.NewReader(snapshot)
+	own := r.BytesField()
+	inner := r.BytesField()
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("router: snapshot: %w", err)
+	}
+	if r.Remaining() != 0 {
+		return fmt.Errorf("%w: trailing bytes in router snapshot", types.ErrCodec)
+	}
+	if err := m.decodeOwnership(own); err != nil {
+		return err
+	}
+	return m.kv.Restore(inner)
+}
+
+// partitionedFork is the chunked snapshot: chunk 0 is the ownership tables,
+// chunks 1..NumShards are the inner KVStore's COW shard chunks. The chunk
+// count is fixed, so the mapping stays positional and Sessioned's wrapper
+// (which prepends its own session chunk) composes cleanly on top.
+type partitionedFork struct {
+	ownership []byte
+	inner     statemachine.SnapshotSource
+}
+
+// ForkSnapshot implements ChunkedSnapshotter. O(shards + ownership).
+func (m *PartitionedKV) ForkSnapshot() statemachine.SnapshotSource {
+	return &partitionedFork{ownership: m.encodeOwnership(), inner: m.kv.ForkSnapshot()}
+}
+
+func (f *partitionedFork) Format() byte   { return statemachine.SnapshotFormatShards }
+func (f *partitionedFork) NumChunks() int { return 1 + f.inner.NumChunks() }
+func (f *partitionedFork) Chunk(i int) []byte {
+	if i == 0 {
+		return f.ownership
+	}
+	return f.inner.Chunk(i - 1)
+}
+
+// RestoreChunk implements ChunkedSnapshotter.
+func (m *PartitionedKV) RestoreChunk(index int, data []byte) error {
+	if index == 0 {
+		return m.decodeOwnership(data)
+	}
+	return m.kv.RestoreChunk(index-1, data)
+}
+
+// FinishRestore implements ChunkedSnapshotter.
+func (m *PartitionedKV) FinishRestore(total int) error {
+	if total != 1+NumShards {
+		return fmt.Errorf("%w: partitioned snapshot has %d chunks, want %d", types.ErrCodec, total, 1+NumShards)
+	}
+	return m.kv.FinishRestore(total - 1)
+}

@@ -1,0 +1,227 @@
+package router
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"testing"
+
+	"repro/internal/statemachine"
+	"repro/internal/types"
+)
+
+// keysForShard returns n distinct keys hashing to shard.
+func keysForShard(t *testing.T, shard, n int) []string {
+	t.Helper()
+	var out []string
+	for i := 0; len(out) < n; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		if statemachine.KeyShard(k) == shard {
+			out = append(out, k)
+		}
+		if i > 1_000_000 {
+			t.Fatalf("no %d keys found for shard %d", n, shard)
+		}
+	}
+	return out
+}
+
+func TestPartitionedKVRoutedOwnership(t *testing.T) {
+	m := NewPartitionedKV([]int{3}, 1)
+	k := keysForShard(t, 3, 1)[0]
+
+	reply := m.Apply(EncodeRouted(3, 1, statemachine.EncodePut(k, []byte("v"))))
+	if statemachine.ReplyStatus(reply) != statemachine.StatusOK {
+		t.Fatalf("owned routed put: %v", statemachine.ReplyStatus(reply))
+	}
+	reply = m.Apply(EncodeRouted(3, 1, statemachine.EncodeGet(k)))
+	if string(statemachine.ReplyPayload(reply)) != "v" {
+		t.Fatalf("owned routed get: %q", statemachine.ReplyPayload(reply))
+	}
+
+	// A shard this group never owned answers Moved with gen 0.
+	other := (3 + 1) % NumShards
+	ko := keysForShard(t, other, 1)[0]
+	reply = m.Apply(EncodeRouted(other, 1, statemachine.EncodeGet(ko)))
+	shard, gen, ok := MovedReply(reply)
+	if !ok || shard != other || gen != 0 {
+		t.Fatalf("unowned routed op: shard=%d gen=%d ok=%v", shard, gen, ok)
+	}
+
+	// Unrouted (raw KV) ops bypass the ownership check and must be rejected.
+	if st := statemachine.ReplyStatus(m.Apply(statemachine.EncodePut(k, []byte("x")))); st != statemachine.StatusBadOp {
+		t.Fatalf("raw KV op status %v, want BadOp", st)
+	}
+}
+
+func TestPartitionedKVDropAdopt(t *testing.T) {
+	src := NewPartitionedKV([]int{5}, 1)
+	dst := NewPartitionedKV(nil, 1)
+	keys := keysForShard(t, 5, 4)
+	for _, k := range keys {
+		if st := statemachine.ReplyStatus(src.Apply(EncodeRouted(5, 1, statemachine.EncodePut(k, []byte("v-"+k))))); st != statemachine.StatusOK {
+			t.Fatalf("seed put %s: %v", k, st)
+		}
+	}
+
+	dropReply := src.Apply(EncodeDrop(5, 2))
+	pairs, err := DropReply(dropReply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != len(keys) {
+		t.Fatalf("extracted %d pairs, want %d", len(pairs), len(keys))
+	}
+	if !sort.SliceIsSorted(pairs, func(i, j int) bool { return pairs[i].Key < pairs[j].Key }) {
+		t.Fatal("extraction not sorted")
+	}
+	// The old owner now redirects with the drop generation.
+	reply := src.Apply(EncodeRouted(5, 1, statemachine.EncodeGet(keys[0])))
+	if shard, gen, ok := MovedReply(reply); !ok || shard != 5 || gen != 2 {
+		t.Fatalf("post-drop route: shard=%d gen=%d ok=%v", shard, gen, ok)
+	}
+	// Its store no longer holds the shard's keys.
+	if len(src.KV().Snapshot()) != len(NewPartitionedKV(nil, 1).KV().Snapshot()) {
+		t.Fatal("drop left data behind")
+	}
+	// A second drop (fresh seq reaching the machine) extracts nothing.
+	pairs2, err := DropReply(src.Apply(EncodeDrop(5, 2)))
+	if err != nil || len(pairs2) != 0 {
+		t.Fatalf("re-drop: %v pairs=%d", err, len(pairs2))
+	}
+
+	// Adopt installs the extraction on the new owner.
+	if st := statemachine.ReplyStatus(dst.Apply(EncodeAdopt(5, 2, pairs))); st != statemachine.StatusOK {
+		t.Fatalf("adopt: %v", st)
+	}
+	for _, k := range keys {
+		reply := dst.Apply(EncodeRouted(5, 2, statemachine.EncodeGet(k)))
+		if !bytes.Equal(statemachine.ReplyPayload(reply), []byte("v-"+k)) {
+			t.Fatalf("adopted key %s = %q", k, statemachine.ReplyPayload(reply))
+		}
+	}
+	if got := dst.OwnedShards(); len(got) != 1 || got[0] != 5 {
+		t.Fatalf("dst owns %v", got)
+	}
+	// Duplicate adopt at the same gen is a no-op OK.
+	if st := statemachine.ReplyStatus(dst.Apply(EncodeAdopt(5, 2, nil))); st != statemachine.StatusOK {
+		t.Fatalf("duplicate adopt: %v", st)
+	}
+	// An adopt whose pairs hash elsewhere is rejected deterministically.
+	wrong := keysForShard(t, (5+1)%NumShards, 1)[0]
+	if st := statemachine.ReplyStatus(dst.Apply(EncodeAdopt(7, 3, []Pair{{Key: wrong, Value: []byte("x")}}))); st != statemachine.StatusBadOp {
+		t.Fatalf("mishashed adopt: %v", st)
+	}
+}
+
+func TestPartitionedKVReadOnly(t *testing.T) {
+	m := NewPartitionedKV([]int{0}, 1)
+	if !m.ReadOnly(EncodeRouted(0, 1, statemachine.EncodeGet("k"))) {
+		t.Fatal("routed get not read-only")
+	}
+	if m.ReadOnly(EncodeRouted(0, 1, statemachine.EncodePut("k", nil))) {
+		t.Fatal("routed put claimed read-only")
+	}
+	if m.ReadOnly(EncodeDrop(0, 2)) || m.ReadOnly(EncodeAdopt(0, 2, nil)) {
+		t.Fatal("migration op claimed read-only")
+	}
+}
+
+// TestPartitionedKVSnapshotRoundTrip covers both the monolithic and the
+// chunked snapshot paths, including ownership tables.
+func TestPartitionedKVSnapshotRoundTrip(t *testing.T) {
+	m := NewPartitionedKV([]int{1, 2}, 3)
+	for _, shard := range []int{1, 2} {
+		for _, k := range keysForShard(t, shard, 3) {
+			m.Apply(EncodeRouted(shard, 3, statemachine.EncodePut(k, []byte("v-"+k))))
+		}
+	}
+	m.Apply(EncodeDrop(2, 4)) // leave a moved-table entry behind
+
+	check := func(got *PartitionedKV, how string) {
+		t.Helper()
+		if shards := got.OwnedShards(); len(shards) != 1 || shards[0] != 1 {
+			t.Fatalf("%s: owned %v", how, shards)
+		}
+		for _, k := range keysForShard(t, 1, 3) {
+			reply := got.Apply(EncodeRouted(1, 3, statemachine.EncodeGet(k)))
+			if !bytes.Equal(statemachine.ReplyPayload(reply), []byte("v-"+k)) {
+				t.Fatalf("%s: key %s = %q", how, k, statemachine.ReplyPayload(reply))
+			}
+		}
+		// The moved generation survives, so redirects stay correct.
+		reply := got.Apply(EncodeRouted(2, 3, statemachine.EncodeGet(keysForShard(t, 2, 1)[0])))
+		if shard, gen, ok := MovedReply(reply); !ok || shard != 2 || gen != 4 {
+			t.Fatalf("%s: moved table lost: shard=%d gen=%d ok=%v", how, shard, gen, ok)
+		}
+	}
+
+	mono := NewPartitionedKV(nil, 0)
+	if err := mono.Restore(m.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	check(mono, "monolithic")
+
+	fork := m.ForkSnapshot()
+	if fork.Format() != statemachine.SnapshotFormatShards {
+		t.Fatalf("fork format %d", fork.Format())
+	}
+	if fork.NumChunks() != 1+NumShards {
+		t.Fatalf("fork chunks %d, want %d", fork.NumChunks(), 1+NumShards)
+	}
+	chunked := NewPartitionedKV(nil, 0)
+	// Deliver out of order to exercise any-order restore.
+	for i := fork.NumChunks() - 1; i >= 0; i-- {
+		if err := chunked.RestoreChunk(i, fork.Chunk(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := chunked.FinishRestore(fork.NumChunks()); err != nil {
+		t.Fatal(err)
+	}
+	check(chunked, "chunked")
+
+	// Forks are COW: mutations after the fork do not leak into chunks.
+	k := keysForShard(t, 1, 1)[0]
+	m.Apply(EncodeRouted(1, 3, statemachine.EncodePut(k, []byte("post-fork"))))
+	late := NewPartitionedKV(nil, 0)
+	for i := 0; i < fork.NumChunks(); i++ {
+		if err := late.RestoreChunk(i, fork.Chunk(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := late.FinishRestore(fork.NumChunks()); err != nil {
+		t.Fatal(err)
+	}
+	reply := late.Apply(EncodeRouted(1, 3, statemachine.EncodeGet(k)))
+	if !bytes.Equal(statemachine.ReplyPayload(reply), []byte("v-"+k)) {
+		t.Fatalf("fork leaked post-fork write: %q", statemachine.ReplyPayload(reply))
+	}
+}
+
+func TestSplitShards(t *testing.T) {
+	m, err := SplitShards([]types.GroupID{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Gen != 1 {
+		t.Fatalf("initial gen %d", m.Gen)
+	}
+	counts := map[types.GroupID]int{}
+	for _, g := range m.Owner {
+		counts[g]++
+	}
+	for gid, n := range counts {
+		if n < NumShards/3-1 || n > NumShards/3+1 {
+			t.Fatalf("group %d owns %d shards (unbalanced)", gid, n)
+		}
+	}
+	for gid := types.GroupID(1); gid <= 3; gid++ {
+		if len(m.ShardsOf(gid)) != counts[gid] {
+			t.Fatalf("ShardsOf(%d) mismatch", gid)
+		}
+	}
+	if _, err := SplitShards(nil); err == nil {
+		t.Fatal("empty split accepted")
+	}
+}

@@ -1,0 +1,200 @@
+package router_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/router"
+	"repro/internal/statemachine"
+	"repro/internal/types"
+)
+
+// shardedWorld is a full sharded runtime: nGroups groups over three shared
+// processes, a controller publishing the balanced map, and a router.
+type shardedWorld struct {
+	m    *cluster.GroupManager
+	ctl  *router.Controller
+	rt   *router.Router
+	gids []types.GroupID
+}
+
+func newShardedWorld(t *testing.T, nGroups int) *shardedWorld {
+	t.Helper()
+	m := cluster.NewGroupManager(cluster.Config{
+		Node:    cluster.FastOptions(),
+		Factory: statemachine.NewKVMachine,
+	})
+	t.Cleanup(m.Close)
+	gids := make([]types.GroupID, nGroups)
+	for i := range gids {
+		gids[i] = types.GroupID(i + 1)
+	}
+	smap, err := router.SplitShards(gids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	procs := []types.NodeID{"p1", "p2", "p3"}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for _, gid := range gids {
+		if err := m.CreateGroup(gid, procs, router.PartitionedFactory(smap.ShardsOf(gid), smap.Gen)); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.WaitGroupServing(ctx, gid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctl := router.NewController(m, smap)
+	return &shardedWorld{m: m, ctl: ctl, rt: router.New(m, ctl), gids: gids}
+}
+
+func (w *shardedWorld) submit(t *testing.T, ctx context.Context, client types.NodeID, seq uint64, key string, inner []byte) []byte {
+	t.Helper()
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		reply, err := w.rt.Submit(ctx, client, seq, key, inner)
+		if err == nil {
+			return reply
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("routed submit %q: %v", key, err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestRouterEndToEnd(t *testing.T) {
+	w := newShardedWorld(t, 2)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	const n = 40
+	seq := uint64(0)
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		seq++
+		reply := w.submit(t, ctx, "c", seq, k, statemachine.EncodePut(k, []byte("v-"+k)))
+		if statemachine.ReplyStatus(reply) != statemachine.StatusOK {
+			t.Fatalf("put %s: %v", k, statemachine.ReplyStatus(reply))
+		}
+	}
+	for i := 0; i < n; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		seq++
+		reply := w.submit(t, ctx, "c", seq, k, statemachine.EncodeGet(k))
+		if got := string(statemachine.ReplyPayload(reply)); got != "v-"+k {
+			t.Fatalf("get %s = %q", k, got)
+		}
+	}
+	// Both groups actually applied work (the split sends keys to each).
+	for _, gid := range w.gids {
+		if gs := w.m.GroupStats(gid); gs.Applied == 0 {
+			t.Fatalf("group %d applied nothing", gid)
+		}
+	}
+	if w.m.TotalViolations() != 0 {
+		t.Fatal("invariant violations")
+	}
+}
+
+// TestRouterFollowsMigrateShard: a router whose cached map predates a shard
+// migration sees StatusMoved, refreshes from the directory, and lands on the
+// new owner — with the migrated data intact.
+func TestRouterFollowsMigrateShard(t *testing.T) {
+	w := newShardedWorld(t, 2)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	// Find a key and its shard currently owned by group 1.
+	smap := w.ctl.Map()
+	var key string
+	var shard int
+	for i := 0; ; i++ {
+		key = fmt.Sprintf("mig-%d", i)
+		var gid types.GroupID
+		shard, gid = smap.OwnerOf(key)
+		if gid == 1 {
+			break
+		}
+	}
+	w.submit(t, ctx, "c", 1, key, statemachine.EncodePut(key, []byte("precious")))
+
+	// A second router caches the pre-migration map now.
+	stale := router.New(w.m, w.ctl)
+
+	if err := w.ctl.MigrateShard(ctx, shard, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got := w.ctl.Map().Owner[shard]; got != 2 {
+		t.Fatalf("map still names group %d", got)
+	}
+	if w.ctl.Map().Gen <= smap.Gen {
+		t.Fatal("generation did not advance")
+	}
+
+	// The stale router redirects its way to the data.
+	reply, err := stale.Submit(ctx, "c", 2, key, statemachine.EncodeGet(key))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(statemachine.ReplyPayload(reply)); got != "precious" {
+		t.Fatalf("migrated read = %q", got)
+	}
+	// Writes keep flowing to the new owner too.
+	reply, err = stale.Submit(ctx, "c", 3, key, statemachine.EncodePut(key, []byte("updated")))
+	if err != nil || statemachine.ReplyStatus(reply) != statemachine.StatusOK {
+		t.Fatalf("post-migration put: %v %v", statemachine.ReplyStatus(reply), err)
+	}
+	// MigrateShard to the current owner is a no-op.
+	gen := w.ctl.Map().Gen
+	if err := w.ctl.MigrateShard(ctx, shard, 2); err != nil {
+		t.Fatal(err)
+	}
+	if w.ctl.Map().Gen != gen {
+		t.Fatal("no-op migration bumped the generation")
+	}
+	if w.m.TotalViolations() != 0 {
+		t.Fatal("invariant violations")
+	}
+}
+
+// TestControllerMoveGroup: moving a group's replicas via reconfiguration
+// keeps the shard map unchanged (no redirects) and the data served.
+func TestControllerMoveGroup(t *testing.T) {
+	w := newShardedWorld(t, 2)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	smap := w.ctl.Map()
+	var key string
+	for i := 0; ; i++ {
+		key = fmt.Sprintf("mv-%d", i)
+		if _, gid := smap.OwnerOf(key); gid == 1 {
+			break
+		}
+	}
+	w.submit(t, ctx, "c", 1, key, statemachine.EncodePut(key, []byte("carried")))
+
+	if err := w.ctl.MoveGroup(ctx, 1, []types.NodeID{"q1", "q2", "q3"}); err != nil {
+		t.Fatal(err)
+	}
+	if w.ctl.Map().Gen != smap.Gen {
+		t.Fatal("MoveGroup changed the shard map")
+	}
+	reply := w.submit(t, ctx, "c", 2, key, statemachine.EncodeGet(key))
+	if got := string(statemachine.ReplyPayload(reply)); got != "carried" {
+		t.Fatalf("moved group reads %q", got)
+	}
+	members := w.m.GroupMembers(1)
+	for _, id := range members {
+		if id != "q1" && id != "q2" && id != "q3" {
+			t.Fatalf("group 1 member %s not in target set", id)
+		}
+	}
+	if w.m.TotalViolations() != 0 {
+		t.Fatal("invariant violations")
+	}
+}

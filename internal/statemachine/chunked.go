@@ -71,3 +71,14 @@ func shardOf(key string) int {
 	}
 	return int(h % numShards)
 }
+
+// NumKeyShards is the fixed hash-partition count exported for layers that
+// partition the keyspace the same way the machines do (the KV router assigns
+// these partitions to RSM groups). Equal to the machines' shard count so a
+// router partition is exactly one KVStore shard / snapshot chunk.
+const NumKeyShards = numShards
+
+// KeyShard is the exported key→shard hash (identical to the one KVStore uses
+// internally), so routing layers agree with the machine about which partition
+// a key belongs to.
+func KeyShard(key string) int { return shardOf(key) }

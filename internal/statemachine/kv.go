@@ -393,6 +393,20 @@ func (m *KVStore) FinishRestore(total int) error {
 	return nil
 }
 
+// Range calls fn for every key/value pair, in no particular order, stopping
+// early if fn returns false. The router's partitioned machine uses it to
+// extract one hash partition's keys when handing a shard to another group;
+// values must not be mutated by fn.
+func (m *KVStore) Range(fn func(key string, value []byte) bool) {
+	for i := range m.shards {
+		for k, v := range m.shards[i] {
+			if !fn(k, v) {
+				return
+			}
+		}
+	}
+}
+
 // Len returns the number of keys, for tests and state-size accounting.
 func (m *KVStore) Len() int {
 	n := 0

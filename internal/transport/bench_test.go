@@ -16,7 +16,7 @@ func BenchmarkEncodeFrame(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		bufp := framePool.Get().(*[]byte)
-		frame := appendFrame((*bufp)[:0], "node-01", 3, 32, payload)
+		frame := appendFrame((*bufp)[:0], "node-01", 0, 3, 32, payload)
 		if len(frame) == 0 {
 			b.Fatal("empty frame")
 		}

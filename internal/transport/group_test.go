@@ -1,0 +1,165 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/types"
+)
+
+// TestGroupViewDemux checks that derived group endpoints share one fabric
+// while keeping independent stream->handler registries: a message sent from
+// group g arrives only at the receiver's group-g view, on the same stream
+// number other groups also use.
+func TestGroupViewDemux(t *testing.T) {
+	n := NewNetwork(Options{})
+	defer n.Close()
+	a := n.Endpoint("a")
+	b := n.Endpoint("b")
+
+	muRoot, rootMsgs := collect(b, 1)
+	mu1, g1Msgs := collect(b.Group(1), 1)
+	mu2, g2Msgs := collect(b.Group(2), 1)
+
+	if err := a.Send("b", 1, 0, []byte("root")); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Group(1).Send("b", 1, 0, []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Group(2).Send("b", 1, 0, []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(mu *sync.Mutex, msgs *[]string, want string) {
+		waitFor(t, func() bool { mu.Lock(); defer mu.Unlock(); return len(*msgs) == 1 }, "group delivery")
+		mu.Lock()
+		defer mu.Unlock()
+		if (*msgs)[0] != want {
+			t.Fatalf("got %q, want %q", (*msgs)[0], want)
+		}
+	}
+	check(muRoot, rootMsgs, "root")
+	check(mu1, g1Msgs, "one")
+	check(mu2, g2Msgs, "two")
+}
+
+// TestGroupViewDemuxTCP is the same demux check over the real TCP fabric —
+// all three groups multiplex one connection per node pair.
+func TestGroupViewDemuxTCP(t *testing.T) {
+	n := NewTCPNetwork(Options{})
+	defer n.Close()
+	a := n.Endpoint("a")
+	b := n.Endpoint("b")
+
+	mu1, g1Msgs := collect(b.Group(1), 1)
+	mu2, g2Msgs := collect(b.Group(2), 1)
+
+	const per = 50
+	for i := 0; i < per; i++ {
+		if err := a.Group(1).Send("b", 1, 0, []byte("one")); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Group(2).Send("b", 1, 0, []byte("two")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, func() bool { mu1.Lock(); defer mu1.Unlock(); return len(*g1Msgs) == per }, "group 1 tcp deliveries")
+	waitFor(t, func() bool { mu2.Lock(); defer mu2.Unlock(); return len(*g2Msgs) == per }, "group 2 tcp deliveries")
+	mu1.Lock()
+	for _, m := range *g1Msgs {
+		if m != "one" {
+			t.Fatalf("group 1 got %q", m)
+		}
+	}
+	mu1.Unlock()
+	mu2.Lock()
+	for _, m := range *g2Msgs {
+		if m != "two" {
+			t.Fatalf("group 2 got %q", m)
+		}
+	}
+	mu2.Unlock()
+}
+
+// TestGroupViewIdentity pins the view contract: Group(0) is the root
+// endpoint itself, Group(g) is stable across calls, and views derived from
+// views resolve against the root.
+func TestGroupViewIdentity(t *testing.T) {
+	n := NewNetwork(Options{})
+	defer n.Close()
+	a := n.Endpoint("a")
+	if a.Group(0) != a {
+		t.Fatal("Group(0) is not the root endpoint")
+	}
+	g3 := a.Group(3)
+	if g3 == a || g3.GroupID() != 3 {
+		t.Fatalf("Group(3) wrong identity: %p vs root %p, gid %d", g3, a, g3.GroupID())
+	}
+	if a.Group(3) != g3 {
+		t.Fatal("Group(3) not stable across calls")
+	}
+	if g3.Group(5) != a.Group(5) {
+		t.Fatal("view-of-view did not resolve against root")
+	}
+	if g3.Group(0) != a {
+		t.Fatal("view's Group(0) is not the root")
+	}
+}
+
+// TestGroupUndeliveredWithoutView: traffic for a group nobody registered is
+// dropped as undeliverable, not misdelivered to the root handler.
+func TestGroupUndeliveredWithoutView(t *testing.T) {
+	n := NewNetwork(Options{})
+	defer n.Close()
+	a := n.Endpoint("a")
+	b := n.Endpoint("b")
+	muRoot, rootMsgs := collect(b, 1)
+
+	if err := a.Group(9).Send("b", 1, 0, []byte("lost")); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("b", 1, 0, []byte("kept")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { muRoot.Lock(); defer muRoot.Unlock(); return len(*rootMsgs) == 1 }, "root delivery")
+	muRoot.Lock()
+	defer muRoot.Unlock()
+	if (*rootMsgs)[0] != "kept" {
+		t.Fatalf("root received %q", (*rootMsgs)[0])
+	}
+}
+
+// TestDropGroup: after DropGroup, a fresh Group call returns a new view with
+// an empty handler registry.
+func TestDropGroup(t *testing.T) {
+	n := NewNetwork(Options{})
+	defer n.Close()
+	a := n.Endpoint("a")
+	b := n.Endpoint("b")
+	mu, msgs := collect(b.Group(4), 1)
+
+	if err := a.Group(4).Send("b", 1, 0, []byte("before")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { mu.Lock(); defer mu.Unlock(); return len(*msgs) == 1 }, "pre-drop delivery")
+
+	b.DropGroup(4)
+	if err := a.Group(4).Send("b", 1, 0, []byte("after")); err != nil {
+		t.Fatal(err)
+	}
+	// The new view has no handler; nothing further arrives.
+	if b.Group(4) == nil {
+		t.Fatal("Group after DropGroup returned nil")
+	}
+	mu.Lock()
+	got := len(*msgs)
+	mu.Unlock()
+	if got != 1 {
+		t.Fatalf("message delivered to dropped group: %d", got)
+	}
+	var g types.NodeID = b.Group(4).ID()
+	if g != "b" {
+		t.Fatalf("recreated view has id %q", g)
+	}
+}

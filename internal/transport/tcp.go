@@ -166,7 +166,7 @@ func (f *tcpFabric) listenFor(e *Endpoint) error {
 // lands in the connection's write buffer; the flusher goroutine pushes it to
 // the kernel, coalescing bursts into one syscall. Failures are silent —
 // exactly like datagram loss; the protocols retransmit.
-func (f *tcpFabric) transmit(from, to types.NodeID, stream uint64, kind uint8, payload []byte) {
+func (f *tcpFabric) transmit(from, to types.NodeID, group, stream uint64, kind uint8, payload []byte) {
 	key := connKey{from: from, to: to}
 	f.mu.Lock()
 	if f.closed {
@@ -217,7 +217,7 @@ func (f *tcpFabric) transmit(from, to types.NodeID, stream uint64, kind uint8, p
 	}
 
 	bufp := framePool.Get().(*[]byte)
-	frame := appendFrame((*bufp)[:0], from, stream, kind, payload)
+	frame := appendFrame((*bufp)[:0], from, group, stream, kind, payload)
 	oc.mu.Lock()
 	err := oc.err
 	if err == nil {
@@ -263,13 +263,14 @@ func (f *tcpFabric) readLoop(conn net.Conn) {
 		return
 	}
 	for {
-		from, stream, kind, payload, err := decodeFrame(br)
+		from, group, stream, kind, payload, err := decodeFrame(br)
 		if err != nil {
 			return
 		}
 		f.net.deliverDirect(&delivery{
 			from:    from,
 			to:      to,
+			group:   group,
 			stream:  stream,
 			kind:    kind,
 			payload: payload,
@@ -313,9 +314,23 @@ var framePool = sync.Pool{
 	},
 }
 
-// Frame layout: fromLen|from|stream|kind|payloadLen|payload, all varints
-// except kind (one byte).
-func appendFrame(buf []byte, from types.NodeID, stream uint64, kind uint8, payload []byte) []byte {
+// Frame layout (legacy, carries group 0):
+//
+//	fromLen|from|stream|kind|payloadLen|payload
+//
+// all varints except kind (one byte). Grouped frames prepend a marker:
+//
+//	0|group|fromLen|from|stream|kind|payloadLen|payload
+//
+// A leading varint 0 can never be a legacy frame's fromLen (node IDs are
+// non-empty), so it unambiguously marks the grouped form. Group 0 always
+// encodes as the legacy layout — old readers decode new group-0 traffic and
+// new readers decode old frames as group 0, in both directions.
+func appendFrame(buf []byte, from types.NodeID, group, stream uint64, kind uint8, payload []byte) []byte {
+	if group != 0 {
+		buf = append(buf, 0) // grouped-frame marker
+		buf = binary.AppendUvarint(buf, group)
+	}
 	buf = binary.AppendUvarint(buf, uint64(len(from)))
 	buf = append(buf, from...)
 	buf = binary.AppendUvarint(buf, stream)
@@ -325,36 +340,47 @@ func appendFrame(buf []byte, from types.NodeID, stream uint64, kind uint8, paylo
 	return buf
 }
 
-func decodeFrame(br *bufio.Reader) (from types.NodeID, stream uint64, kind uint8, payload []byte, err error) {
+func decodeFrame(br *bufio.Reader) (from types.NodeID, group, stream uint64, kind uint8, payload []byte, err error) {
 	fromLen, err := binary.ReadUvarint(br)
 	if err != nil {
-		return "", 0, 0, nil, err
+		return "", 0, 0, 0, nil, err
 	}
-	if fromLen > 4096 {
-		return "", 0, 0, nil, io.ErrUnexpectedEOF
+	if fromLen == 0 {
+		// Grouped-frame marker: a real fromLen is never 0.
+		group, err = binary.ReadUvarint(br)
+		if err != nil {
+			return "", 0, 0, 0, nil, err
+		}
+		fromLen, err = binary.ReadUvarint(br)
+		if err != nil {
+			return "", 0, 0, 0, nil, err
+		}
+	}
+	if fromLen == 0 || fromLen > 4096 {
+		return "", 0, 0, 0, nil, io.ErrUnexpectedEOF
 	}
 	fromBuf := make([]byte, fromLen)
 	if _, err := io.ReadFull(br, fromBuf); err != nil {
-		return "", 0, 0, nil, err
+		return "", 0, 0, 0, nil, err
 	}
 	stream, err = binary.ReadUvarint(br)
 	if err != nil {
-		return "", 0, 0, nil, err
+		return "", 0, 0, 0, nil, err
 	}
 	kindByte, err := br.ReadByte()
 	if err != nil {
-		return "", 0, 0, nil, err
+		return "", 0, 0, 0, nil, err
 	}
 	plen, err := binary.ReadUvarint(br)
 	if err != nil {
-		return "", 0, 0, nil, err
+		return "", 0, 0, 0, nil, err
 	}
 	if plen > maxFrame {
-		return "", 0, 0, nil, io.ErrUnexpectedEOF
+		return "", 0, 0, 0, nil, io.ErrUnexpectedEOF
 	}
 	payload = make([]byte, plen)
 	if _, err := io.ReadFull(br, payload); err != nil {
-		return "", 0, 0, nil, err
+		return "", 0, 0, 0, nil, err
 	}
-	return types.NodeID(fromBuf), stream, kindByte, payload, nil
+	return types.NodeID(fromBuf), group, stream, kindByte, payload, nil
 }

@@ -85,6 +85,7 @@ type delivery struct {
 	seq     uint64 // tie-break for deterministic heap order
 	from    types.NodeID
 	to      types.NodeID
+	group   uint64
 	stream  uint64
 	kind    uint8
 	payload []byte
@@ -297,7 +298,7 @@ func (n *Network) cut(a, b types.NodeID) bool {
 
 // send is called by endpoints; it applies the fault model and enqueues
 // deliveries.
-func (n *Network) send(from, to types.NodeID, stream uint64, kind uint8, payload []byte) error {
+func (n *Network) send(from, to types.NodeID, group, stream uint64, kind uint8, payload []byte) error {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if n.closed {
@@ -329,7 +330,7 @@ func (n *Network) send(from, to types.NodeID, stream uint64, kind uint8, payload
 	}
 	if n.tcp != nil {
 		for i := 0; i < copies; i++ {
-			n.tcp.transmit(from, to, stream, kind, payload)
+			n.tcp.transmit(from, to, group, stream, kind, payload)
 		}
 		return nil
 	}
@@ -348,6 +349,7 @@ func (n *Network) send(from, to types.NodeID, stream uint64, kind uint8, payload
 			seq:     n.seq,
 			from:    from,
 			to:      to,
+			group:   group,
 			stream:  stream,
 			kind:    kind,
 			payload: payload,
@@ -444,15 +446,27 @@ func (n *Network) recordDelivered(down bool) {
 }
 
 // Endpoint is one process's attachment to the network.
+//
+// An endpoint is either a root (one per registered node, owning the inbox and
+// dispatch goroutine) or a group view derived from a root via Group. A group
+// view shares the root's identity, socket, inbox and pause state but has its
+// own stream→handler registry, so N independent protocol stacks (RSM groups)
+// can multiplex over one process attachment without coordinating stream IDs.
 type Endpoint struct {
 	id  types.NodeID
 	net *Network
+
+	// root is nil on the root endpoint itself; group views point back so
+	// Send/Pause/close consult the shared process state.
+	root  *Endpoint
+	group uint64
 
 	mu       sync.Mutex
 	handlers map[uint64]Handler // per stream
 	catchAll Handler
 	paused   bool
 	closed   bool
+	groups   map[uint64]*Endpoint // root only: derived group views
 
 	inbox chan *delivery
 	quit  chan struct{}
@@ -461,6 +475,51 @@ type Endpoint struct {
 
 // ID returns the endpoint's node ID.
 func (e *Endpoint) ID() types.NodeID { return e.id }
+
+// GroupID returns the group this endpoint view is scoped to (0 for the root).
+func (e *Endpoint) GroupID() uint64 { return e.group }
+
+// Group returns the endpoint view scoped to group gid. Handlers registered on
+// the view only see traffic sent by the matching view on a peer; all views of
+// a node share the root's single socket/inbox so a burst across groups still
+// coalesces into the same TCP writes. Group 0 is the root endpoint itself —
+// ungrouped (legacy) traffic is literally group 0.
+func (e *Endpoint) Group(gid uint64) *Endpoint {
+	root := e.rootEndpoint()
+	if gid == 0 {
+		return root
+	}
+	root.mu.Lock()
+	defer root.mu.Unlock()
+	if root.groups == nil {
+		root.groups = make(map[uint64]*Endpoint)
+	}
+	if g, ok := root.groups[gid]; ok {
+		return g
+	}
+	g := &Endpoint{id: root.id, net: root.net, root: root, group: gid}
+	root.groups[gid] = g
+	return g
+}
+
+// DropGroup discards the view for gid and its handlers; subsequent traffic
+// for that group is counted as undeliverable. No-op for group 0.
+func (e *Endpoint) DropGroup(gid uint64) {
+	if gid == 0 {
+		return
+	}
+	root := e.rootEndpoint()
+	root.mu.Lock()
+	defer root.mu.Unlock()
+	delete(root.groups, gid)
+}
+
+func (e *Endpoint) rootEndpoint() *Endpoint {
+	if e.root != nil {
+		return e.root
+	}
+	return e
+}
 
 // Handle registers h for messages on the given stream, replacing any
 // previous handler. A nil h unregisters the stream.
@@ -486,41 +545,47 @@ func (e *Endpoint) HandleAll(h Handler) {
 }
 
 // Pause makes the endpoint drop all inbound messages, modeling a crashed
-// process that is still addressable.
+// process that is still addressable. Pause state is process-wide: pausing any
+// group view pauses the root and every other view.
 func (e *Endpoint) Pause() {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.paused = true
+	root := e.rootEndpoint()
+	root.mu.Lock()
+	defer root.mu.Unlock()
+	root.paused = true
 }
 
 // Resume undoes Pause.
 func (e *Endpoint) Resume() {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.paused = false
+	root := e.rootEndpoint()
+	root.mu.Lock()
+	defer root.mu.Unlock()
+	root.paused = false
 }
 
 // Paused reports whether the endpoint is currently dropping inbound traffic.
 func (e *Endpoint) Paused() bool {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.paused
+	root := e.rootEndpoint()
+	root.mu.Lock()
+	defer root.mu.Unlock()
+	return root.paused
 }
 
-// Send transmits payload to the given node. It never blocks on the receiver;
-// delivery is asynchronous and may silently fail per the fault model.
+// Send transmits payload to the given node, addressed to the same group view
+// on the receiving side. It never blocks on the receiver; delivery is
+// asynchronous and may silently fail per the fault model.
 func (e *Endpoint) Send(to types.NodeID, stream uint64, kind uint8, payload []byte) error {
-	e.mu.Lock()
-	if e.closed {
-		e.mu.Unlock()
+	root := e.rootEndpoint()
+	root.mu.Lock()
+	if root.closed {
+		root.mu.Unlock()
 		return ErrClosed
 	}
-	paused := e.paused
-	e.mu.Unlock()
+	paused := root.paused
+	root.mu.Unlock()
 	if paused {
 		return nil // a crashed process sends nothing; drop silently
 	}
-	return e.net.send(e.id, to, stream, kind, payload)
+	return root.net.send(root.id, to, e.group, stream, kind, payload)
 }
 
 // Broadcast sends payload to every node in targets (skipping self).
@@ -552,12 +617,27 @@ func (e *Endpoint) dispatch(wg *sync.WaitGroup) {
 			return
 		case d := <-e.inbox:
 			e.mu.Lock()
-			h := e.handlers[d.stream]
-			if h == nil {
-				h = e.catchAll
+			target := e
+			if d.group != 0 {
+				target = e.groups[d.group] // nil if no such group view
 			}
 			paused := e.paused || e.closed
+			var h Handler
+			if target == e {
+				h = e.handlers[d.stream]
+				if h == nil {
+					h = e.catchAll
+				}
+			}
 			e.mu.Unlock()
+			if target != nil && target != e {
+				target.mu.Lock()
+				h = target.handlers[d.stream]
+				if h == nil {
+					h = target.catchAll
+				}
+				target.mu.Unlock()
+			}
 			e.net.recordDelivered(paused || h == nil)
 			if paused || h == nil {
 				continue

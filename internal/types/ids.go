@@ -21,6 +21,12 @@ type NodeID string
 // next ID. ID 0 is invalid (zero value is never a live configuration).
 type ConfigID uint64
 
+// GroupID names one RSM group — one independent reconfigurable chain — in a
+// process hosting several over shared transport and storage. Group 0 is the
+// legacy ungrouped runtime: old wire frames and store layouts decode as
+// group 0, so single-group deployments never see the concept.
+type GroupID uint64
+
 // Slot indexes a position in a single static engine's command log. Slots
 // start at 1; slot 0 is "nothing decided yet".
 type Slot uint64
