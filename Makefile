@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-read bench-snapshot bench-write vet fmt-check ci
+.PHONY: all build test race bench bench-read bench-snapshot bench-write bench-shard bench-reconfig vet fmt-check ci
 
 all: build test
 
@@ -45,6 +45,13 @@ bench-write:
 # fsync-coalescing columns lives in `rsmbench -exp shard`.
 bench-shard:
 	$(GO) test -run '^$$' -bench ShardScaling -benchtime 1x .
+
+# Reconfig-latency smoke: one pass of the R2 shootout at 8MB state —
+# speculative vs wait-for-transfer successor start (full member replacement)
+# vs the in-band baseline, reporting time-to-first-decide in c+1 and the
+# commit gap. The canonical table lives in `rsmbench -exp reconfig`.
+bench-reconfig:
+	$(GO) test -run '^$$' -bench R2ReconfigShootout -benchtime 1x .
 
 vet:
 	$(GO) vet ./...

@@ -145,6 +145,37 @@ func BenchmarkSnapshotTransfer(b *testing.B) {
 	}
 }
 
+// BenchmarkR2ReconfigShootout — Table R2 smoke behind `make bench-reconfig`:
+// the reconfiguration-latency shootout at 8MB state. Headline metrics are
+// time-to-first-decide in c+1 for the speculative vs wait-for-transfer
+// composed variants (full member replacement — nothing can execute in c+1
+// until a joiner has the state) and the client-visible commit gap per
+// variant. The inband row is a single swap (it cannot full-replace).
+func BenchmarkR2ReconfigShootout(b *testing.B) {
+	const stateBytes = 8 << 20
+	for i := 0; i < b.N; i++ {
+		res, err := harness.RunR2ReconfigShootout(tuning(), stateBytes, benchRunDur, benchClients)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Log("\n" + res.Render())
+		for _, row := range res.Rows {
+			tag := row.System.String()
+			if row.System == harness.Composed {
+				if row.Speculative {
+					tag += "-spec"
+				} else {
+					tag += "-wait"
+				}
+			}
+			if row.TTFDKnown {
+				b.ReportMetric(row.TTFD.Seconds()*1000, "ttfd-ms/"+tag)
+			}
+			b.ReportMetric(row.Gap.Seconds()*1000, "gap-ms/"+tag)
+		}
+	}
+}
+
 // BenchmarkT3Failover — Table T3: crash-to-restored-service time.
 func BenchmarkT3Failover(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -8,8 +8,9 @@
 //	rsmbench -exp lin -seed 7   # linearizability chaos check from a seed
 //	rsmbench -exp read          # read fast path: mode x read-ratio sweep
 //	rsmbench -exp write         # write path: pipeline depth x apply mode sweep
+//	rsmbench -exp reconfig      # R2 reconfig-latency shootout (speculative start)
 //
-// Experiment IDs: t1 t1d f1 t2 f2 t3 f3 t4 f4 t5 f5 lin read write shard (see DESIGN.md §4).
+// Experiment IDs: t1 t1d f1 t2 f2 t3 f3 t4 f4 t5 f5 lin read write shard reconfig (see DESIGN.md §4).
 package main
 
 import (
@@ -30,7 +31,7 @@ func main() {
 
 func run() int {
 	var (
-		exp     = flag.String("exp", "all", "experiment ID (t1,t1d,f1,t2,f2,t3,f3,t4,f4,t5,f5,lin,read,write,shard or all)")
+		exp     = flag.String("exp", "all", "experiment ID (t1,t1d,f1,t2,f2,t3,f3,t4,f4,t5,f5,lin,read,write,shard,reconfig or all)")
 		dur     = flag.Duration("dur", 2*time.Second, "load duration per run")
 		clients = flag.Int("clients", 4, "closed-loop client count")
 		seed    = flag.Int64("seed", 1, "nemesis schedule seed (lin experiment)")
@@ -238,6 +239,17 @@ func runOne(id string, tun harness.Tuning, dur time.Duration, clients int, seed 
 			sc = 64
 		}
 		res, err := harness.RunShardScaling(tun, []int{1, 2, 4, 8}, dur, sc)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
+	case "reconfig":
+		// R2 is the flagship comparative experiment: speculative successor
+		// start vs the wait-for-transfer ablation vs the in-band baseline,
+		// at 8MB of preloaded state — the size where the transfer truly
+		// gates the successor and time-to-first-decide separates the
+		// designs.
+		res, err := harness.RunR2ReconfigShootout(tun, 8<<20, dur, clients)
 		if err != nil {
 			return err
 		}

@@ -268,6 +268,10 @@ func newComposed(t Tuning, factory statemachine.Factory, initial, spares []types
 	if err != nil {
 		return nil, err
 	}
+	spec := reconfig.SpecOn
+	if t.SpecOff {
+		spec = reconfig.SpecOff
+	}
 	d.opts = reconfig.Options{
 		Paxos:              t.paxosOpts(),
 		RetryInterval:      t.Retry,
@@ -275,7 +279,7 @@ func newComposed(t Tuning, factory statemachine.Factory, initial, spares []types
 		FetchTimeout:       150 * time.Millisecond,
 		StaleJumpTicks:     15,
 		GossipTicks:        20,
-		DisableSpeculation: t.SpecOff,
+		SpeculativeStart:   spec,
 		MonolithicTransfer: t.Mono,
 		Reads:              t.Reads,
 		LeaseTicks:         t.LeaseTicks,
@@ -326,14 +330,25 @@ func newComposed(t Tuning, factory statemachine.Factory, initial, spares []types
 func (d *composedDep) pick() *reconfig.Node {
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	// Prefer serving nodes (dedup fast path, fast reads); fall back to a
+	// member that is speculatively accepting — during a full member
+	// replacement no successor member serves until the first install, but
+	// under SpecOn all of them order commands and park the replies.
+	var accepting *reconfig.Node
 	for i := 0; i < len(d.order); i++ {
 		d.rr++
 		n := d.nodes[d.order[d.rr%len(d.order)]]
-		if n != nil && n.Serving() {
+		if n == nil {
+			continue
+		}
+		if n.Serving() {
 			return n
 		}
+		if accepting == nil && n.Accepting() {
+			accepting = n
+		}
 	}
-	return nil
+	return accepting
 }
 
 func (d *composedDep) Submit(ctx context.Context, clientID types.NodeID, seq uint64, op []byte) ([]byte, error) {
@@ -429,6 +444,9 @@ type TransferStats struct {
 	ChunksServed     int64
 	ChunkCRCRejected int64
 	MaxWedgeCapture  time.Duration // max over nodes of the last wedge's capture
+	SpecDecides      int64         // decisions learned before the deciding node's snapshot installed
+	SpecParked       int64         // decisions parked in apply queues at the moment of install
+	NodeResubmits    int64         // server-side pending-command re-proposals
 }
 
 // TransferStats sums the chunked-transfer counters over all nodes.
@@ -452,8 +470,29 @@ func (d *composedDep) TransferStats() TransferStats {
 		if d := time.Duration(st.WedgeCaptureNS); d > out.MaxWedgeCapture {
 			out.MaxWedgeCapture = d
 		}
+		out.SpecDecides += st.SpeculativeDecides
+		out.SpecParked += st.SpeculativeParked
+		out.NodeResubmits += st.Resubmits
 	}
 	return out
+}
+
+// FirstDecideIn returns the earliest moment any of the given nodes learned a
+// decided slot of configuration id — the joiners' time-to-first-decide
+// numerator for the R2 shootout. ok is false when none has decided yet.
+func (d *composedDep) FirstDecideIn(members []types.NodeID, id types.ConfigID) (time.Time, bool) {
+	var best time.Time
+	found := false
+	for _, m := range members {
+		n := d.Node(m)
+		if n == nil {
+			continue
+		}
+		if t, ok := n.FirstDecide(id); ok && (!found || t.Before(best)) {
+			best, found = t, true
+		}
+	}
+	return best, found
 }
 
 // refreshOrder re-learns the serving member set from any node.

@@ -378,6 +378,13 @@ type DisruptionResult struct {
 	ViolationsSum int64
 	Mono          bool          // composed only: monolithic-transfer ablation
 	Transfer      TransferStats // composed only: chunk counters + wedge capture
+	// TTFD is the time from issuing the reconfiguration to the first moment
+	// any brand-new member learned a decided slot of the successor
+	// configuration — the headline R2 metric. Composed only; TTFDKnown is
+	// false for baselines (no per-config engine to observe) and when the
+	// swap added no new members.
+	TTFD      time.Duration
+	TTFDKnown bool
 }
 
 // RunDisruption runs one system through: warm-up, optional preload, steady
@@ -487,6 +494,33 @@ func RunDisruptionTo(kind SystemKind, tuning Tuning, dur time.Duration, clients,
 	}
 	if cd, ok := dep.(*composedDep); ok {
 		res.Transfer = cd.TransferStats()
+		// Time-to-first-decide in the successor configuration, measured at
+		// the brand-new members. The decision-routing timestamp is recorded
+		// identically under SpecOn and SpecOff, so the comparison is fair:
+		// without speculation a joiner's engine only exists after install,
+		// which is exactly the latency the metric is meant to expose.
+		var joiners []types.NodeID
+		known := map[types.NodeID]bool{}
+		for _, id := range initial {
+			known[id] = true
+		}
+		newID := types.ConfigID(0)
+		for _, id := range target {
+			if !known[id] {
+				joiners = append(joiners, id)
+				if n := cd.Node(id); n != nil {
+					if cfg := n.CurrentConfig(); cfg.ID > newID {
+						newID = cfg.ID
+					}
+				}
+			}
+		}
+		if len(joiners) > 0 && newID > 0 {
+			if at, ok := cd.FirstDecideIn(joiners, newID); ok {
+				res.TTFD = at.Sub(recStart)
+				res.TTFDKnown = true
+			}
+		}
 	}
 	return res, nil
 }
@@ -540,6 +574,151 @@ func RunF2StateTransfer(tuning Tuning, sizes []int, dur time.Duration, clients i
 				Gap:          r.Gap,
 			})
 		}
+	}
+	return res, nil
+}
+
+// --- R2: reconfig-latency shootout (speculative vs wait-for-transfer vs inband) -----
+
+// R2Row is one variant of the reconfiguration-latency shootout.
+type R2Row struct {
+	System       SystemKind
+	Speculative  bool // composed only
+	FullReplace  bool // every successor member is brand new
+	TTFD         time.Duration
+	TTFDKnown    bool
+	ReconfigTook time.Duration
+	Gap          time.Duration
+	DipDepth     float64       // fraction of steady throughput lost at the trough
+	DipDur       time.Duration // contiguous window below half the steady rate
+	Retries      int64         // client-side re-submissions over the run
+	Resubmits    int64         // composed only: server-side pending re-proposals
+	SpecDecides  int64         // composed only: decisions learned before install
+	Throughput   float64
+}
+
+// R2Result is the shootout at one state size.
+type R2Result struct {
+	StateBytes int
+	Rows       []R2Row
+}
+
+// dipStats characterizes the throughput dip after the reconfiguration mark:
+// depth is the fraction of steady-state throughput lost at the deepest bin,
+// dur is the length of the first contiguous window at or after the mark whose
+// rate stays below half the steady rate. The final bin is excluded (it is
+// truncated by the run deadline).
+func dipStats(series []int64, bin time.Duration, markBin int) (depth float64, dur time.Duration) {
+	if markBin <= 0 || markBin >= len(series) {
+		return 0, 0
+	}
+	var sum int64
+	for _, v := range series[:markBin] {
+		sum += v
+	}
+	steady := float64(sum) / float64(markBin)
+	if steady <= 0 {
+		return 0, 0
+	}
+	tail := series[markBin:]
+	if len(tail) > 1 {
+		tail = tail[:len(tail)-1]
+	}
+	trough := tail[0]
+	for _, v := range tail {
+		if v < trough {
+			trough = v
+		}
+	}
+	depth = 1 - float64(trough)/steady
+	if depth < 0 {
+		depth = 0
+	}
+	half := steady / 2
+	i := 0
+	for i < len(tail) && float64(tail[i]) >= half {
+		i++
+	}
+	j := i
+	for j < len(tail) && float64(tail[j]) < half {
+		j++
+	}
+	return depth, time.Duration(j-i) * bin
+}
+
+// RunR2ReconfigShootout is the flagship head-to-head reconfiguration-latency
+// experiment: composed with speculative start, composed with the
+// wait-for-transfer ablation (Options.SpeculativeStart = SpecOff), and the
+// in-band baseline, at one preloaded state size. The composed variants run a
+// FULL member replacement (every successor member brand new), the scenario
+// where nothing can execute in c+1 until a joiner holds the state — so
+// time-to-first-decide isolates exactly what speculation buys. The in-band
+// baseline cannot replace its whole member set (new members catch up by
+// replaying the shared log from surviving members; no out-of-band snapshot
+// path exists), so its row is the T2-style single swap n3 → s1 — a strictly
+// easier scenario, noted in the rendered table.
+//
+// Each variant reports the median-of-3 run (by TTFD where measurable, else by
+// commit gap), damping scheduler noise in the headline numbers.
+func RunR2ReconfigShootout(tuning Tuning, stateBytes int, dur time.Duration, clients int) (R2Result, error) {
+	WarmHeap(tuning, stateBytes)
+	res := R2Result{StateBytes: stateBytes}
+	fullSpares := []types.NodeID{"s1", "s2", "s3"}
+	swapSpares := []types.NodeID{"s1"}
+	swapTarget := []types.NodeID{"n1", "n2", "s1"}
+	variants := []struct {
+		kind SystemKind
+		spec bool
+		full bool
+	}{
+		{Composed, true, true},
+		{Composed, false, true},
+		{Inband, false, false},
+	}
+	for _, v := range variants {
+		t := tuning
+		t.SpecOff = v.kind == Composed && !v.spec
+		spares, target := fullSpares, fullSpares
+		if !v.full {
+			spares, target = swapSpares, swapTarget
+		}
+		runs := make([]DisruptionResult, 0, 3)
+		for i := 0; i < 3; i++ {
+			r, err := RunDisruptionTo(v.kind, t, dur, clients, stateBytes, spares, target)
+			if err != nil {
+				return res, fmt.Errorf("r2 %s spec=%v: %w", v.kind, v.spec, err)
+			}
+			runs = append(runs, r)
+		}
+		sort.Slice(runs, func(i, j int) bool {
+			// TTFD-known runs sort first (among themselves by TTFD), unknown
+			// runs last by gap; mixing the two keys directly would not be a
+			// strict weak ordering and sort.Slice could return any order.
+			if runs[i].TTFDKnown != runs[j].TTFDKnown {
+				return runs[i].TTFDKnown
+			}
+			if runs[i].TTFDKnown {
+				return runs[i].TTFD < runs[j].TTFD
+			}
+			return runs[i].Gap < runs[j].Gap
+		})
+		r := runs[1]
+		depth, ddur := dipStats(r.Series, r.Bin, r.MarkBin)
+		res.Rows = append(res.Rows, R2Row{
+			System:       v.kind,
+			Speculative:  v.spec,
+			FullReplace:  v.full,
+			TTFD:         r.TTFD,
+			TTFDKnown:    r.TTFDKnown,
+			ReconfigTook: r.ReconfigTook,
+			Gap:          r.Gap,
+			DipDepth:     depth,
+			DipDur:       ddur,
+			Retries:      r.Retries,
+			Resubmits:    r.Transfer.NodeResubmits,
+			SpecDecides:  r.Transfer.SpecDecides,
+			Throughput:   r.Throughput,
+		})
 	}
 	return res, nil
 }

@@ -202,6 +202,43 @@ func (r F2Result) Render() string {
 		renderTable([]string{"state(B)", "speculative", "transfer", "reconfig", "max-gap"}, rows)
 }
 
+// Render formats the R2 shootout.
+func (r R2Result) Render() string {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		variant := row.System.String()
+		if row.System == Composed {
+			if row.Speculative {
+				variant += "/spec"
+			} else {
+				variant += "/wait"
+			}
+		}
+		scenario := "swap"
+		if row.FullReplace {
+			scenario = "full-replace"
+		}
+		ttfd := "n/a"
+		if row.TTFDKnown {
+			ttfd = fmtDur(row.TTFD)
+		}
+		rows = append(rows, []string{
+			variant,
+			scenario,
+			ttfd,
+			fmtDur(row.ReconfigTook),
+			fmtDur(row.Gap),
+			fmt.Sprintf("%.0f%%", row.DipDepth*100),
+			fmtDur(row.DipDur),
+			fmt.Sprintf("%d", row.Retries),
+			fmt.Sprintf("%d", row.SpecDecides),
+			fmt.Sprintf("%.0f", row.Throughput),
+		})
+	}
+	return fmt.Sprintf("R2: reconfiguration-latency shootout at %dB state (median of 3; inband row is a single swap — it cannot full-replace)\n", r.StateBytes) +
+		renderTable([]string{"variant", "scenario", "ttfd", "reconfig", "max-gap", "dip", "dip-dur", "retries", "spec-dec", "ops/s"}, rows)
+}
+
 // Render formats the T3 failover measurement.
 func (r T3Result) Render() string {
 	return fmt.Sprintf(

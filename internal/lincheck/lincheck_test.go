@@ -354,3 +354,42 @@ func TestFromHistoryConversion(t *testing.T) {
 		t.Fatalf("history rejected:\n%s", res.Counterexample)
 	}
 }
+
+// Mutation 4 (speculative start): a joiner that applies a speculative
+// decision — or serves a read — from its pre-install state. The Put is
+// acknowledged before the reconfiguration and folded into the snapshot the
+// joiner is still fetching; a joiner that answers the Get from its empty
+// machine before the install produces a read of state that never existed
+// at that point in time. The checker must reject it.
+func TestMutationSpeculativePreInstallReadRejected(t *testing.T) {
+	good := []Operation{
+		completed("c1", statemachine.EncodePut("k", []byte("pre")), ok(nil), 0, 1),
+		completed("c2", statemachine.EncodeGet("k"), ok([]byte("pre")), 2, 3),
+	}
+	requireOk(t, RegisterModel(), good)
+	mutated := []Operation{
+		completed("c1", statemachine.EncodePut("k", []byte("pre")), ok(nil), 0, 1),
+		// Served by the broken joiner from its not-yet-installed machine.
+		completed("c2", statemachine.EncodeGet("k"), notFound(), 2, 3),
+	}
+	requireViolation(t, RegisterModel(), mutated)
+}
+
+// Mutation 5 (speculative start): a broken base-index skip. The snapshot the
+// joiner installs already folds in add(5) (decided at a slot ≤ the snapshot's
+// base index); a joiner that replays the parked decision on top of the
+// install applies it twice, so the next add observes an inflated total. The
+// checker must reject the resulting history.
+func TestMutationSpeculativeDoubleApplyRejected(t *testing.T) {
+	good := []Operation{
+		completed("c1", statemachine.EncodeAdd(5), ok(uvarintBytes(5)), 0, 1),
+		completed("c2", statemachine.EncodeAdd(2), ok(uvarintBytes(7)), 2, 3),
+	}
+	requireOk(t, CounterModel(), good)
+	mutated := []Operation{
+		completed("c1", statemachine.EncodeAdd(5), ok(uvarintBytes(5)), 0, 1),
+		// 12 = 5 applied from the snapshot AND from the parked decision, +2.
+		completed("c2", statemachine.EncodeAdd(2), ok(uvarintBytes(12)), 2, 3),
+	}
+	requireViolation(t, CounterModel(), mutated)
+}

@@ -256,6 +256,14 @@ var _ smr.Engine = (*Replica)(nil)
 // New constructs a replica of the static engine for cfg on node self.
 // The stream number isolates this instance's traffic on the shared endpoint;
 // storage keys are namespaced by it as well.
+//
+// Engine start is deliberately decoupled from application-state readiness:
+// a replica needs nothing beyond its own promised/accepted/decided records
+// to vote, accept and decide, so the composition layer boots a successor
+// engine speculatively while the state snapshot is still streaming in. The
+// engine's records are durable in their own right (and recovered here by
+// recover()), which is what lets slots decided before a crash mid-transfer
+// survive and be redelivered after restart.
 func New(cfg types.Config, self types.NodeID, ep *transport.Endpoint, store storage.Store, stream uint64, opts Options) (*Replica, error) {
 	if !cfg.IsMember(self) {
 		return nil, fmt.Errorf("%w: %s not in %s", smr.ErrNotMember, self, cfg)

@@ -1,6 +1,8 @@
 package reconfig
 
 import (
+	"time"
+
 	"repro/internal/statemachine"
 	"repro/internal/types"
 )
@@ -245,6 +247,16 @@ func (n *Node) routeDecisionLocked(td taggedDecision) {
 	run, ok := n.engines[td.id]
 	if !ok {
 		return
+	}
+	if _, seen := n.firstDecide[td.id]; !seen {
+		n.firstDecide[td.id] = time.Now()
+	}
+	if td.id > n.curID || !n.initialized {
+		// Decided before this node's state caught up to the configuration:
+		// either a future config's engine running speculatively, or the
+		// current config's engine deciding while the snapshot is still in
+		// flight. The decision parks here until the install.
+		n.stats.specDecides++
 	}
 	run.buffered = append(run.buffered, td.dec)
 }

@@ -243,13 +243,14 @@ func encodeSnapMeta(m snapMetaReq) []byte {
 
 type snapMetaReply struct {
 	Found  bool
-	Format byte     // statemachine.SnapshotFormat*
-	CRCs   []uint32 // CRC32-C per chunk; len is the chunk count
-	Chunks [][]byte // leading chunks 0..len-1, within the range byte budget
+	Format byte       // statemachine.SnapshotFormat*
+	Base   types.Slot // log position the snapshot folds in; installer skips slots ≤ Base
+	CRCs   []uint32   // CRC32-C per chunk; len is the chunk count
+	Chunks [][]byte   // leading chunks 0..len-1, within the range byte budget
 }
 
 func encodeSnapMetaReply(m snapMetaReply) []byte {
-	sz := 8 + 5*len(m.CRCs)
+	sz := 18 + 5*len(m.CRCs)
 	for _, c := range m.Chunks {
 		sz += 8 + len(c)
 	}
@@ -257,6 +258,7 @@ func encodeSnapMetaReply(m snapMetaReply) []byte {
 	w.Byte(opSnapMetaReply)
 	w.Bool(m.Found)
 	w.Byte(m.Format)
+	w.Uvarint(uint64(m.Base))
 	w.Uvarint(uint64(len(m.CRCs)))
 	for _, c := range m.CRCs {
 		w.Uvarint(uint64(c))
@@ -276,6 +278,7 @@ func decodeSnapMetaReply(buf []byte) (snapMetaReply, error) {
 	m := snapMetaReply{
 		Found:  r.Bool(),
 		Format: r.Byte(),
+		Base:   types.Slot(r.Uvarint()),
 	}
 	cnt := r.Uvarint()
 	if r.Err() == nil && cnt > uint64(r.Remaining()) {

@@ -146,6 +146,16 @@ func FuzzDecodeSnapMetaReply(f *testing.F) {
 		Chunks: [][]byte{[]byte("c0"), []byte("c1")},
 	}))
 	f.Add(encodeSnapMetaReply(snapMetaReply{}))
+	// Non-zero base index (speculative start: the installer sets its apply
+	// cursor to Base, so a codec that drops or shifts it is a correctness
+	// bug, not just a wire bug).
+	f.Add(encodeSnapMetaReply(snapMetaReply{
+		Found:  true,
+		Format: 2,
+		Base:   types.Slot(1 << 33),
+		CRCs:   []uint32{7},
+	}))
+	f.Add(encodeSnapMetaReply(snapMetaReply{Found: true, Base: 1}))
 	f.Add([]byte{})
 	f.Add([]byte{byte(opSnapMetaReply), 0x01, 0x01, 0xff})
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -157,7 +167,7 @@ func FuzzDecodeSnapMetaReply(f *testing.F) {
 		if err != nil {
 			t.Fatalf("re-decode failed: %v", err)
 		}
-		if again.Found != rep.Found || again.Format != rep.Format ||
+		if again.Found != rep.Found || again.Format != rep.Format || again.Base != rep.Base ||
 			len(again.CRCs) != len(rep.CRCs) || len(again.Chunks) != len(rep.Chunks) {
 			t.Fatalf("round trip changed: %+v -> %+v", rep, again)
 		}

@@ -284,6 +284,7 @@ type linRun struct {
 	reads        ReadMode // 0 keeps the node default (ReadModeIndex)
 	leaseTicks   int      // lease term override when reads is ReadModeLease
 	serialApply  bool     // ablation: coupled decide/apply path instead of the parallel stage
+	spec         SpecMode // 0 keeps the node default (SpecOn); SpecOff pins the wait-for-transfer ablation
 }
 
 func runLin(t *testing.T, run linRun) {
@@ -300,6 +301,9 @@ func runLin(t *testing.T, run linRun) {
 	}
 	if run.serialApply {
 		w.opts.SerialApply = true
+	}
+	if run.spec != SpecDefault {
+		w.opts.SpeculativeStart = run.spec
 	}
 	if run.useWAL {
 		dir := t.TempDir()
@@ -592,6 +596,42 @@ func TestLinearizabilityWriteHeavySerialAblation(t *testing.T) {
 		clients:     4,
 		steps:       6,
 		serialApply: true,
+	})
+}
+
+// TestLinearizabilitySpeculativeReconfig is the speculative-start chaos run:
+// reconfiguration churn plus crash-restarts with SpeculativeStart pinned on,
+// so every joiner decides slots of the successor configuration while its
+// snapshot is still streaming (and crash-restarted joiners replay those
+// decisions from their durable records). Any decision applied before the
+// install, any reply released before the apply point passed the snapshot's
+// base index, or any double-apply after a crashed speculative phase is a
+// linearizability counterexample here.
+func TestLinearizabilitySpeculativeReconfig(t *testing.T) {
+	runLin(t, linRun{
+		workload:     kvWorkload(),
+		kinds:        []nemesis.Kind{nemesis.KindReconfigure, nemesis.KindCrashRestart},
+		seed:         1212,
+		clients:      4,
+		steps:        6,
+		minReconfigs: 2,
+		spec:         SpecOn,
+	})
+}
+
+// TestLinearizabilitySpeculativeReconfigBank runs the same speculative-start
+// churn over the bank machine: transfers are cross-shard barriers and Totals
+// assert conservation, so a joiner whose speculative decisions interleave
+// wrongly with its snapshot install breaks conservation visibly.
+func TestLinearizabilitySpeculativeReconfigBank(t *testing.T) {
+	runLin(t, linRun{
+		workload:     bankWorkload(),
+		kinds:        []nemesis.Kind{nemesis.KindReconfigure, nemesis.KindCrashRestart, nemesis.KindPartition},
+		seed:         1313,
+		clients:      4,
+		steps:        6,
+		minReconfigs: 2,
+		spec:         SpecOn,
 	})
 }
 

@@ -46,11 +46,15 @@ type Options struct {
 	// PendingMaxRetries drops a pending command after this many
 	// re-proposals (an abandoned client). Default 2000.
 	PendingMaxRetries int
-	// DisableSpeculation delays starting a successor engine until the
-	// initial state is installed, instead of starting it while the
-	// snapshot is still in flight. Ablation switch for experiments
-	// F2/F5; the paper's design keeps it false.
-	DisableSpeculation bool
+	// SpeculativeStart controls whether a successor engine boots while the
+	// snapshot is still in flight (the paper's §1 speculative start: the
+	// joiner votes, accepts and decides c+1 slots during transfer; decided
+	// entries park in the apply queue and drain after install, with client
+	// replies gated until the apply point passes the snapshot's base
+	// index). SpecDefault normalizes to SpecOn; SpecOff delays the engine
+	// until the initial state is installed — the wait-for-transfer
+	// ablation for experiments F2/F5/R2.
+	SpeculativeStart SpecMode
 	// Reads selects how read-only client ops are served. Default
 	// ReadModeIndex (leader read-index fast path with log fallback).
 	Reads ReadMode
@@ -81,6 +85,22 @@ type Options struct {
 	// 8192.
 	ApplyQueue int
 }
+
+// SpecMode selects the successor engine start policy. The zero value is
+// normalized to SpecOn so speculation stays the default through a zero
+// Options.
+type SpecMode uint8
+
+const (
+	// SpecDefault is the zero value; withDefaults turns it into SpecOn.
+	SpecDefault SpecMode = 0
+	// SpecOn starts a successor engine the moment this node learns it is a
+	// member of the new configuration, before its snapshot is installed.
+	SpecOn SpecMode = 1
+	// SpecOff waits for the snapshot install before starting the engine —
+	// the wait-for-transfer ablation.
+	SpecOff SpecMode = 2
+)
 
 // ReadMode selects the serving strategy for read-only ops. Values start at 1
 // so the zero value can be normalized to the default.
@@ -125,6 +145,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Reads == 0 {
 		o.Reads = ReadModeIndex
+	}
+	if o.SpeculativeStart == SpecDefault {
+		o.SpeculativeStart = SpecOn
 	}
 	if o.Reads == ReadModeLease {
 		// Every engine this node runs grants leases; the node's wedge
@@ -212,6 +235,8 @@ type NodeStats struct {
 	ApplyQueueHighWater int64 // max observed apply queue depth
 	ApplyStalls         int64 // engine consumers blocked on a full apply queue
 	GroupCommits        int64 // engine bursts ending in a group-commit Sync, summed
+	SpeculativeDecides  int64 // decisions learned for a configuration before its snapshot installed
+	SpeculativeParked   int64 // decisions already parked for the new config when its snapshot installed
 }
 
 // Node is one process's reconfigurable-SMR runtime: it hosts the static
@@ -255,8 +280,13 @@ type Node struct {
 	cfgWaiters  []chan struct{} // signaled (closed) on every transition
 	fetching    bool
 	serving     map[types.ConfigID]*snapServing // snapshots being published
-	tick        int64                           // housekeeping tick counter
-	rng         *rand.Rand                      // jitter source, guarded by mu
+	// firstDecide records when this node learned its first decision of each
+	// configuration, speculative or not — the R2 shootout's
+	// time-to-first-decide numerator. Recorded at the same point for both
+	// SpecOn and SpecOff (decision routing), so the comparison is fair.
+	firstDecide map[types.ConfigID]time.Time
+	tick        int64      // housekeeping tick counter
+	rng         *rand.Rand // jitter source, guarded by mu
 	staleTicks  int
 	gossipLeft  int
 	gossipSeq   int
@@ -289,6 +319,7 @@ type Node struct {
 		chunkRetries, chunkCRCRejected          int64
 		wedgeCaptureNS                          int64
 		resubmits, violations                   int64
+		specDecides, specParked                 int64
 	}
 	reads stats.ReadPathCounters
 }
@@ -302,22 +333,23 @@ func NewNode(nc NodeConfig) (*Node, error) {
 	ctx, cancel := context.WithCancel(context.Background())
 	opts := nc.Opts.withDefaults()
 	n := &Node{
-		self:       nc.Self,
-		ep:         nc.Endpoint,
-		store:      nc.Store,
-		factory:    nc.Factory,
-		opts:       opts,
-		configs:    make(map[types.ConfigID]types.Config),
-		chain:      make(map[types.ConfigID]ChainRecord),
-		engines:    make(map[types.ConfigID]*engineRun),
-		pending:    make(map[pendKey]*pendingCmd),
-		serving:    make(map[types.ConfigID]*snapServing),
-		rng:        rand.New(rand.NewSource(seedFor(string(nc.Self)))),
-		applyCh:    make(chan taggedDecision, opts.ApplyQueue),
-		pumpCh:     make(chan struct{}, 1),
-		stopCh:     make(chan struct{}),
-		baseCtx:    ctx,
-		baseCancel: cancel,
+		self:        nc.Self,
+		ep:          nc.Endpoint,
+		store:       nc.Store,
+		factory:     nc.Factory,
+		opts:        opts,
+		configs:     make(map[types.ConfigID]types.Config),
+		chain:       make(map[types.ConfigID]ChainRecord),
+		engines:     make(map[types.ConfigID]*engineRun),
+		pending:     make(map[pendKey]*pendingCmd),
+		serving:     make(map[types.ConfigID]*snapServing),
+		firstDecide: make(map[types.ConfigID]time.Time),
+		rng:         rand.New(rand.NewSource(seedFor(string(nc.Self)))),
+		applyCh:     make(chan taggedDecision, opts.ApplyQueue),
+		pumpCh:      make(chan struct{}, 1),
+		stopCh:      make(chan struct{}),
+		baseCtx:     ctx,
+		baseCancel:  cancel,
 	}
 	return n, nil
 }
@@ -411,14 +443,22 @@ func (n *Node) Start() error {
 		}
 		n.machine = fresh
 		n.initialized = true
+		// Resume applying where the snapshot's content ends (Base 0 for
+		// wedge-captured snapshots); the engine redelivers the rest.
+		n.appliedSlot = m.Base
 	} else {
 		// No snapshot, or crashed before the transfer finished; the
 		// housekeeping loop (re-)fetches the missing chunks.
 		n.initialized = false
 	}
 
+	// Start the engine even when the snapshot is not yet installed: the
+	// paxos substrate needs no application state to vote, accept or decide
+	// (speculative start); its accepted/decided records are durable in
+	// their own right, so slots decided before a crash mid-transfer are
+	// redelivered here and park until the install.
 	cur := n.configs[n.curID]
-	if cur.IsMember(n.self) && (n.initialized || !n.opts.DisableSpeculation) {
+	if cur.IsMember(n.self) && (n.initialized || n.speculationOn()) {
 		if err := n.ensureEngineLocked(n.curID); err != nil {
 			return err
 		}
@@ -457,6 +497,10 @@ func (n *Node) Stop() {
 		peer.Close()
 	}
 }
+
+// speculationOn reports whether successor engines may start before their
+// snapshot installs (Options.SpeculativeStart, default on).
+func (n *Node) speculationOn() bool { return n.opts.SpeculativeStart != SpecOff }
 
 // ensureEngineLocked creates and starts the engine for configuration id if
 // this node is a member and it is not already running. Caller holds mu.
@@ -571,6 +615,21 @@ func (n *Node) Serving() bool {
 	return n.initialized && n.configs[n.curID].IsMember(n.self)
 }
 
+// Accepting reports whether this node can take client submissions: serving,
+// or an uninitialized member of the current configuration whose speculative
+// engine can already order commands (the reply stays parked until the
+// snapshot installs). Smart clients use this during a full member
+// replacement, when no successor member is serving yet but all of them can
+// decide.
+func (n *Node) Accepting() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.stopped || !n.configs[n.curID].IsMember(n.self) {
+		return false
+	}
+	return n.initialized || n.speculationOn()
+}
+
 // LeaderHint returns this node's best guess at the current configuration's
 // leader ("" when unknown). Used for leader-targeted fault injection and
 // client steering; it is a hint, not a guarantee.
@@ -642,7 +701,20 @@ func (n *Node) Stats() NodeStats {
 		ApplyQueueHighWater: n.applyHighWater.Load(),
 		ApplyStalls:         n.applyStalls.Load(),
 		GroupCommits:        groupCommits,
+		SpeculativeDecides:  n.stats.specDecides,
+		SpeculativeParked:   n.stats.specParked,
 	}
+}
+
+// FirstDecide returns when this node learned its first decided slot of
+// configuration id (speculative or not), and whether it has yet. The R2
+// shootout subtracts the reconfigure start from it to get the joiner's
+// time-to-first-decide in c+1.
+func (n *Node) FirstDecide(id types.ConfigID) (time.Time, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	t, ok := n.firstDecide[id]
+	return t, ok
 }
 
 // Machine returns the node's sessioned machine for test inspection. Callers

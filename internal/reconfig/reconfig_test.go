@@ -671,7 +671,7 @@ func TestConcurrentReconfigureOneWinner(t *testing.T) {
 
 func TestDisableSpeculationStillReconfigures(t *testing.T) {
 	w := newWorld(t, transport.Options{BaseLatency: 100 * time.Microsecond})
-	w.opts.DisableSpeculation = true
+	w.opts.SpeculativeStart = SpecOff
 	w.bootstrap(statemachine.NewCounterMachine, "n1", "n2", "n3")
 	w.waitServing("n1", "n2", "n3")
 	w.submit("n1", "c1", 1, statemachine.EncodeAdd(4))

@@ -37,7 +37,7 @@ func (n *Node) handleRPC(from types.NodeID, req []byte, respond func([]byte)) {
 			return
 		}
 		m, ok := n.snapManifest(id)
-		reply := snapMetaReply{Found: ok, Format: m.Format, CRCs: m.CRCs}
+		reply := snapMetaReply{Found: ok, Format: m.Format, Base: m.Base, CRCs: m.CRCs}
 		if ok {
 			// Piggyback the leading chunks: on a loaded control plane every
 			// round trip pays a full dispatch-queue traversal, so a small
@@ -96,12 +96,33 @@ func (n *Node) handleSubmit(cmd types.Command, respond func([]byte)) {
 		return
 	}
 	cur := n.configs[n.curID]
-	if !n.initialized || !cur.IsMember(n.self) {
+	if !cur.IsMember(n.self) {
 		respond(encodeSubmitReply(submitReply{
 			Status: SubmitRedirect,
 			Config: cur,
 			Leader: n.leaderHintLocked(),
 		}))
+		return
+	}
+	if !n.initialized {
+		if !n.speculationOn() {
+			respond(encodeSubmitReply(submitReply{
+				Status: SubmitRedirect,
+				Config: cur,
+				Leader: n.leaderHintLocked(),
+			}))
+			return
+		}
+		// Speculative accept: this member's snapshot is still in flight, but
+		// its engine can already order commands (speculative start). Propose
+		// now and leave the reply parked: the decision buffers until the
+		// install, the post-install apply answers the waiter, and session
+		// dedup squashes commands the snapshot already contains. Without this
+		// a full member replacement has no one to propose to until the first
+		// install completes — exactly the window speculation exists to close.
+		// The dedup and fast-read checks below need machine state we do not
+		// have yet; both remain correct at apply time.
+		n.enqueueSubmitLocked(cmd, respond)
 		return
 	}
 	// Duplicate of an already-executed command: answer from the session
@@ -178,7 +199,7 @@ func (n *Node) handleAnnounce(rec ChainRecord) {
 
 	// Speculative start (the paper's availability optimization): join the
 	// successor's engine before the state arrives so ordering can begin.
-	if rec.To.IsMember(n.self) && !n.opts.DisableSpeculation {
+	if rec.To.IsMember(n.self) && n.speculationOn() {
 		if err := n.ensureEngineLocked(rec.To.ID); err != nil {
 			n.stats.violations++
 		}
@@ -211,7 +232,7 @@ func (n *Node) advanceToLocked(id types.ConfigID) {
 	n.initialized = false
 	cfg := n.configs[id]
 	if cfg.IsMember(n.self) {
-		if !n.opts.DisableSpeculation {
+		if n.speculationOn() {
 			if err := n.ensureEngineLocked(id); err != nil {
 				n.stats.violations++
 			}

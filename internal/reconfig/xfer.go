@@ -383,7 +383,7 @@ func (n *Node) fetchManifest(id types.ConfigID, sources []types.NodeID, rng *ran
 		if err != nil || !mr.Found {
 			continue
 		}
-		return storage.ChunkManifest{Format: mr.Format, CRCs: mr.CRCs}, mr.Chunks, true
+		return storage.ChunkManifest{Format: mr.Format, Base: mr.Base, CRCs: mr.CRCs}, mr.Chunks, true
 	}
 	return storage.ChunkManifest{}, nil, false
 }
@@ -540,8 +540,18 @@ func (n *Node) installChunks(id types.ConfigID, m storage.ChunkManifest, chunks 
 	}
 	n.machine = fresh
 	n.initialized = true
-	n.appliedSlot = 0
+	// The snapshot folds in every slot up to its base index: start applying
+	// at Base, so the stale-skip in the pump (dec.Slot <= appliedSlot)
+	// discards redelivered decisions the snapshot already covers and no
+	// client reply fires for a slot before the apply point passes Base.
+	// Wedge-captured snapshots have Base 0 — the successor log is fresh.
+	n.appliedSlot = m.Base
 	n.stats.snapshotsFetched++
+	if run, ok := n.engines[id]; ok {
+		// Decisions the speculative engine decided during the transfer are
+		// parked in run.buffered; the pump nudge below drains them now.
+		n.stats.specParked += int64(len(run.buffered))
+	}
 	if err := n.ensureEngineLocked(id); err != nil {
 		n.stats.violations++
 	}

@@ -195,7 +195,10 @@ func (c *Controller) MoveGroup(ctx context.Context, gid types.GroupID, members [
 // Limitation (documented): client session tables do not travel with the
 // shard, so a client retrying a write it never saw acknowledged, across
 // exactly this migration, may apply it twice. Use MoveGroup when that
-// matters; MigrateShard is for rebalancing under healthy clients.
+// matters; MigrateShard is for rebalancing under healthy clients. See
+// DESIGN.md §"Multi-group runtime", MigrateShard bullet, for the full
+// analysis and the session-export fix this would need;
+// TestMigrateShardDropsSessionDedup pins the failure mode executably.
 func (c *Controller) MigrateShard(ctx context.Context, shard int, to types.GroupID) error {
 	if shard < 0 || shard >= NumShards {
 		return fmt.Errorf("router: shard %d out of range", shard)

@@ -198,3 +198,54 @@ func TestControllerMoveGroup(t *testing.T) {
 		t.Fatal("invariant violations")
 	}
 }
+
+// TestMigrateShardDropsSessionDedup pins MigrateShard's documented
+// limitation (see the MigrateShard godoc and DESIGN.md §"Multi-group
+// runtime") as an executable spec: client session tables do NOT travel with
+// a shard across groups, so a client retry of an un-acked write that lands
+// after the migration re-applies instead of being deduplicated.
+//
+// The body asserts the session-SAFE behavior — the retry must be absorbed —
+// which MigrateShard deliberately does not provide; run un-skipped it fails
+// with "zz" where "z" is asserted. It stays skipped until cross-group
+// session export ships (the drop payload would need to carry the shard's
+// session entries); whoever builds that should un-skip this test and watch
+// it pass. Until then MoveGroup is the session-safe migration path.
+func TestMigrateShardDropsSessionDedup(t *testing.T) {
+	t.Skip("failing by design: MigrateShard does not carry session dedup across groups (DESIGN.md §Multi-group runtime); un-skip when session export ships")
+
+	w := newShardedWorld(t, 2)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	smap := w.ctl.Map()
+	var key string
+	var shard int
+	for i := 0; ; i++ {
+		key = fmt.Sprintf("dedup-%d", i)
+		var gid types.GroupID
+		shard, gid = smap.OwnerOf(key)
+		if gid == 1 {
+			break
+		}
+	}
+	// The write is acknowledged by the old owner, which records (client,
+	// seq) in its session table — a table the migration leaves behind.
+	w.submit(t, ctx, "retrier", 1, key, statemachine.EncodeAppend(key, []byte("z")))
+
+	if err := w.ctl.MigrateShard(ctx, shard, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	// The client never saw the ack and retries the same (client, seq)
+	// against the new owner. Session-safe behavior: the retry is absorbed
+	// and the append happens exactly once.
+	w.submit(t, ctx, "retrier", 1, key, statemachine.EncodeAppend(key, []byte("z")))
+	reply := w.submit(t, ctx, "reader", 1, key, statemachine.EncodeGet(key))
+	if got := string(statemachine.ReplyPayload(reply)); got != "z" {
+		t.Fatalf("retry across MigrateShard re-applied: key = %q, want %q", got, "z")
+	}
+	if w.m.TotalViolations() != 0 {
+		t.Fatal("invariant violations")
+	}
+}

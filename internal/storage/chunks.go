@@ -15,13 +15,19 @@ import (
 //
 // Layout under a caller-chosen prefix:
 //
-//	<prefix>/meta    manifest: format byte + per-chunk CRC32-C
+//	<prefix>/meta    manifest: format byte + base slot + per-chunk CRC32-C
 //	<prefix>/c/<i>   chunk i (zero-padded decimal index)
 
 // ChunkManifest describes a chunked blob. Format is interpreted by the owner
 // (see statemachine.SnapshotFormat*); CRCs[i] is the CRC32-C of chunk i.
+// Base is the log position the blob's content corresponds to: an installer
+// must set its apply cursor to Base and skip decided slots ≤ Base (they are
+// already folded into the blob), which is what gates replies for slots a
+// speculative engine decided before the install. Wedge-captured snapshots
+// carry Base 0 — the successor's log starts fresh at slot 1.
 type ChunkManifest struct {
 	Format byte
+	Base   types.Slot
 	CRCs   []uint32
 }
 
@@ -33,8 +39,9 @@ func ChunkCRC(data []byte) uint32 { return crc32.Checksum(data, walCRC) }
 
 // EncodeChunkManifest serializes a manifest.
 func EncodeChunkManifest(m ChunkManifest) []byte {
-	w := types.NewWriter(2 + 5*len(m.CRCs))
+	w := types.NewWriter(12 + 5*len(m.CRCs))
 	w.Byte(m.Format)
+	w.Uvarint(uint64(m.Base))
 	w.Uvarint(uint64(len(m.CRCs)))
 	for _, c := range m.CRCs {
 		w.Uvarint(uint64(c))
@@ -46,6 +53,7 @@ func EncodeChunkManifest(m ChunkManifest) []byte {
 func DecodeChunkManifest(data []byte) (ChunkManifest, error) {
 	r := types.NewReader(data)
 	m := ChunkManifest{Format: r.Byte()}
+	m.Base = types.Slot(r.Uvarint())
 	n := r.Uvarint()
 	if err := r.Err(); err != nil {
 		return ChunkManifest{}, fmt.Errorf("chunk manifest header: %w", err)

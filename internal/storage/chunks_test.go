@@ -1,0 +1,145 @@
+package storage
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/types"
+)
+
+// TestChunkManifestRoundTrip exercises the manifest codec across the corners
+// that matter for speculative start: Base (the installer's starting apply
+// cursor) must survive the trip exactly, alongside format and CRCs.
+func TestChunkManifestRoundTrip(t *testing.T) {
+	cases := []ChunkManifest{
+		{},
+		{Format: 1},
+		{Format: 2, Base: 1, CRCs: []uint32{0xdeadbeef}},
+		{Format: 7, Base: types.Slot(1)<<40 + 3, CRCs: []uint32{0, 1, 0xffffffff, 42}},
+	}
+	for i, m := range cases {
+		got, err := DecodeChunkManifest(EncodeChunkManifest(m))
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if got.Format != m.Format || got.Base != m.Base || len(got.CRCs) != len(m.CRCs) {
+			t.Fatalf("case %d: round trip changed: %+v -> %+v", i, m, got)
+		}
+		for j := range m.CRCs {
+			if got.CRCs[j] != m.CRCs[j] {
+				t.Fatalf("case %d: CRC %d changed", i, j)
+			}
+		}
+	}
+}
+
+func TestChunkManifestRejectsTrailingBytes(t *testing.T) {
+	data := append(EncodeChunkManifest(ChunkManifest{Format: 1, Base: 9}), 0x00)
+	if _, err := DecodeChunkManifest(data); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+// TestChunkedBlobPreservesBase writes a chunked blob whose manifest carries a
+// non-zero base index and reads it back through the resume path: the Base an
+// installer will adopt as its apply cursor must come back intact.
+func TestChunkedBlobPreservesBase(t *testing.T) {
+	s := NewMem()
+	chunks := [][]byte{[]byte("alpha"), []byte("beta"), nil, []byte("delta")}
+	m := ChunkManifest{Format: 3, Base: 12345, CRCs: make([]uint32, len(chunks))}
+	for i, c := range chunks {
+		m.CRCs[i] = ChunkCRC(c)
+	}
+	if err := WriteChunked(s, "snap/9", m, func(i int) []byte { return chunks[i] }); err != nil {
+		t.Fatal(err)
+	}
+	got, gotChunks, complete, err := ReadChunked(s, "snap/9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !complete {
+		t.Fatal("blob read back incomplete")
+	}
+	if got.Base != m.Base || got.Format != m.Format {
+		t.Fatalf("manifest changed: %+v -> %+v", m, got)
+	}
+	for i := range chunks {
+		if !bytes.Equal(gotChunks[i], chunks[i]) {
+			t.Fatalf("chunk %d changed", i)
+		}
+	}
+}
+
+// FuzzDecodeChunkManifest fuzzes the manifest codec: arbitrary stored bytes
+// (a torn or bit-flipped meta key) must never panic and must either fail
+// cleanly or decode to a manifest that re-encodes identically — Base
+// included, since a shifted Base silently corrupts the installer's apply
+// cursor.
+func FuzzDecodeChunkManifest(f *testing.F) {
+	f.Add(EncodeChunkManifest(ChunkManifest{}))
+	f.Add(EncodeChunkManifest(ChunkManifest{Format: 1, CRCs: []uint32{1, 2, 3}}))
+	f.Add(EncodeChunkManifest(ChunkManifest{Format: 2, Base: 1 << 33, CRCs: []uint32{0xdeadbeef}}))
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeChunkManifest(data)
+		if err != nil {
+			return
+		}
+		enc := EncodeChunkManifest(m)
+		again, err := DecodeChunkManifest(enc)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if again.Format != m.Format || again.Base != m.Base || len(again.CRCs) != len(m.CRCs) {
+			t.Fatalf("round trip changed: %+v -> %+v", m, again)
+		}
+		for i := range m.CRCs {
+			if again.CRCs[i] != m.CRCs[i] {
+				t.Fatalf("round trip changed CRC %d", i)
+			}
+		}
+	})
+}
+
+// FuzzReadChunkedResume drives the store-level resume read over a partially
+// corrupted blob: whatever bytes sit under the chunk keys, ReadChunked must
+// never panic and must report complete=true only when every chunk matches its
+// manifest CRC.
+func FuzzReadChunkedResume(f *testing.F) {
+	f.Add([]byte("good"), []byte("bad"), true)
+	f.Add([]byte{}, []byte{}, false)
+	f.Fuzz(func(t *testing.T, c0, c1 []byte, corrupt bool) {
+		s := NewMem()
+		chunks := [][]byte{c0, c1}
+		m := ChunkManifest{Format: 1, Base: 5, CRCs: []uint32{ChunkCRC(c0), ChunkCRC(c1)}}
+		if err := WriteChunked(s, "p", m, func(i int) []byte { return chunks[i] }); err != nil {
+			t.Fatal(err)
+		}
+		damaged := false
+		if corrupt {
+			bad := append(append([]byte(nil), c1...), 0x01)
+			damaged = ChunkCRC(bad) != m.CRCs[1]
+			if err := s.Set(ChunkKey("p", 1), bad); err != nil {
+				t.Fatal(err)
+			}
+		}
+		got, gotChunks, complete, err := ReadChunked(s, "p")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Base != 5 {
+			t.Fatalf("base changed: %d", got.Base)
+		}
+		if damaged {
+			if complete {
+				t.Fatal("corrupt chunk reported complete")
+			}
+			if gotChunks[1] != nil {
+				t.Fatal("corrupt chunk surfaced instead of nil")
+			}
+		} else if !corrupt && (!complete || !bytes.Equal(gotChunks[0], c0) || !bytes.Equal(gotChunks[1], c1)) {
+			t.Fatalf("clean blob read back wrong: complete=%v", complete)
+		}
+	})
+}
