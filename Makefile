@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-read bench-snapshot bench-write bench-shard bench-reconfig vet fmt-check ci
+.PHONY: all build test race bench bench-read bench-snapshot bench-write bench-shard bench-reconfig bench-mega vet fmt-check ci
 
 all: build test
 
@@ -52,6 +52,12 @@ bench-shard:
 # commit gap. The canonical table lives in `rsmbench -exp reconfig`.
 bench-reconfig:
 	$(GO) test -run '^$$' -bench R2ReconfigShootout -benchtime 1x .
+
+# Megaload smoke: one pass of the C1 benchmark — 100k open-loop client
+# sessions through a reconfiguration storm, smart client + admission control
+# vs the naive ablation. The canonical table lives in `rsmbench -exp mega`.
+bench-mega:
+	$(GO) test -run '^$$' -bench C1Megaload -benchtime 1x -timeout 30m .
 
 vet:
 	$(GO) vet ./...

@@ -393,3 +393,29 @@ func BenchmarkR1ReadScaling(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkC1Megaload — Table C1: 100k open-loop client sessions driven
+// through the real RPC client library across a reconfiguration storm, smart
+// arm (shared config directory + server admission control) vs the naive
+// ablation (per-session cache, fixed backoff, unbounded server queues).
+// Headline metrics are each arm's goodput and ack p99, plus the smart arm's
+// silent-drop count (must be 0: every unserved submit is answered).
+func BenchmarkC1Megaload(b *testing.B) {
+	t := tuning()
+	t.SubmitQueue = 256
+	for i := 0; i < b.N; i++ {
+		res, err := harness.RunC1Megaload(t, 100000, 6000, 10*time.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Log("\n" + res.Render())
+		if res.Smart.Silent != 0 {
+			b.Fatalf("smart arm had %d silent drops", res.Smart.Silent)
+		}
+		b.ReportMetric(res.Smart.Goodput, "ops/s/smart")
+		b.ReportMetric(res.Naive.Goodput, "ops/s/naive")
+		b.ReportMetric(float64(res.Smart.Latency.P99)/1e6, "p99ms/smart")
+		b.ReportMetric(float64(res.Naive.Latency.P99)/1e6, "p99ms/naive")
+		b.ReportMetric(float64(res.Naive.Silent+res.Naive.Unresolved), "lost/naive")
+	}
+}

@@ -9,8 +9,9 @@
 //	rsmbench -exp read          # read fast path: mode x read-ratio sweep
 //	rsmbench -exp write         # write path: pipeline depth x apply mode sweep
 //	rsmbench -exp reconfig      # R2 reconfig-latency shootout (speculative start)
+//	rsmbench -exp mega          # C1 100k-session open-loop megaload (smart vs naive)
 //
-// Experiment IDs: t1 t1d f1 t2 f2 t3 f3 t4 f4 t5 f5 lin read write shard reconfig (see DESIGN.md §4).
+// Experiment IDs: t1 t1d f1 t2 f2 t3 f3 t4 f4 t5 f5 lin read write shard reconfig mega megalin (see DESIGN.md §4).
 package main
 
 import (
@@ -31,10 +32,11 @@ func main() {
 
 func run() int {
 	var (
-		exp     = flag.String("exp", "all", "experiment ID (t1,t1d,f1,t2,f2,t3,f3,t4,f4,t5,f5,lin,read,write,shard,reconfig or all)")
+		exp     = flag.String("exp", "all", "experiment ID (t1,t1d,f1,t2,f2,t3,f3,t4,f4,t5,f5,lin,read,write,shard,reconfig,mega,megalin or all)")
 		dur     = flag.Duration("dur", 2*time.Second, "load duration per run")
 		clients = flag.Int("clients", 4, "closed-loop client count")
 		seed    = flag.Int64("seed", 1, "nemesis schedule seed (lin experiment)")
+		rate    = flag.Float64("rate", 6000, "offered open-loop load, ops/s (mega experiment)")
 		cpuProf = flag.String("pprof", "", "write a CPU profile covering the selected experiments to this file")
 	)
 	flag.Parse()
@@ -67,7 +69,7 @@ func run() int {
 	}
 	for _, id := range ids {
 		fmt.Printf("=== experiment %s ===\n", strings.ToUpper(id))
-		if err := runOne(id, tun, *dur, *clients, *seed); err != nil {
+		if err := runOne(id, tun, *dur, *clients, *seed, *rate); err != nil {
 			fmt.Fprintf(os.Stderr, "experiment %s: %v\n", id, err)
 			return 1
 		}
@@ -76,7 +78,7 @@ func run() int {
 	return 0
 }
 
-func runOne(id string, tun harness.Tuning, dur time.Duration, clients int, seed int64) error {
+func runOne(id string, tun harness.Tuning, dur time.Duration, clients int, seed int64, rate float64) error {
 	allSystems := []harness.SystemKind{harness.Composed, harness.StopTheWorld, harness.Inband}
 	switch id {
 	case "t1":
@@ -254,6 +256,39 @@ func runOne(id string, tun harness.Tuning, dur time.Duration, clients int, seed 
 			return err
 		}
 		fmt.Print(res.Render())
+	case "mega":
+		// C1 drives 100k open-loop sessions (or -clients if >= 1000) through
+		// a reconfiguration storm via the real client library: smart arm
+		// (shared directory + admission control) vs naive ablation. The
+		// offered rate sits at the storm-capacity edge, where the ablation's
+		// unbounded queues collapse and shedding keeps every op accounted.
+		sessions := 100000
+		if clients >= 1000 {
+			sessions = clients
+		}
+		mdur := dur
+		if mdur < 10*time.Second {
+			mdur = 10 * time.Second
+		}
+		mt := tun
+		mt.SubmitQueue = 256
+		res, err := harness.RunC1Megaload(mt, sessions, rate, mdur)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
+		if res.Smart.Silent != 0 {
+			return fmt.Errorf("smart arm had %d silent drops", res.Smart.Silent)
+		}
+	case "megalin":
+		res, err := harness.RunMegaLin(tun, seed, 10000, 2000, dur)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
+		if res.Unknown || !res.Linearizable {
+			return fmt.Errorf("linearizability check did not pass (seed %d)", seed)
+		}
 	case "lin":
 		res, err := harness.RunLin(tun, seed, dur, clients)
 		if err != nil {

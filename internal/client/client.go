@@ -1,15 +1,26 @@
 // Package client is the user-facing library for the reconfigurable SMR
-// service. A Client tracks the configuration chain as it evolves: it caches
-// the current configuration and leader hint, follows redirects left by
-// wedged configurations, retries across reconfigurations, and guarantees
-// at-most-once execution through per-session sequence numbers (commands are
-// always retried under the same sequence number until acknowledged).
+// service. A Client is one session against the service; a Directory is the
+// shared, process-wide view of the service that any number of sessions
+// multiplex over: one transport connection per server (the rpc peer
+// request-id-matches unlimited concurrent calls), one cached configuration
+// chain position, one leader hint. A session adopts the freshest
+// configuration observed by ANY session's reply, so a forwarding chain is
+// walked at most once per process, not once per session — the property that
+// makes 100k sessions affordable.
+//
+// The client guarantees at-most-once execution through per-session sequence
+// numbers (commands are always retried under the same sequence number until
+// acknowledged), follows redirects left by wedged configurations, honors
+// SubmitBusy shed replies with the server's RetryAfter hint, and backs off
+// between attempts with jittered exponential delays (the same discipline the
+// servers use for state-transfer retries).
 package client
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 
@@ -26,13 +37,35 @@ type Options struct {
 	AttemptTimeout time.Duration
 	// Resend is the in-attempt RPC retransmission interval. Default 50ms.
 	Resend time.Duration
-	// RetryBackoff is the pause between failed attempts. Default 5ms.
+	// RetryBackoff is the base of the jittered exponential backoff between
+	// failed attempts (doubling, capped at RetryMax). Default 2ms.
 	RetryBackoff time.Duration
+	// RetryMax caps the exponential backoff. Default 250ms.
+	RetryMax time.Duration
+	// RetryBudget bounds the attempts one Submit makes before giving up
+	// with a BudgetError. 0 = retry until ctx expires. The budget only
+	// bounds attempts while the command provably never executed (every
+	// attempt answered with a redirect or a shed): once an attempt's
+	// outcome is unknown the command may already be applied, and abandoning
+	// it would turn at-most-once into a silent drop, so the client keeps
+	// pursuing the same sequence number (idempotent under the session
+	// dedup) until a definitive reply or ctx expiry. The Naive ablation
+	// gives up at the budget unconditionally.
+	RetryBudget int
+	// NoJitter pins the backoff schedule to its deterministic midpoint
+	// (test hook; production clients want decorrelated retries).
+	NoJitter bool
+	// Naive reverts the client to its pre-directory behavior — a
+	// per-session configuration cache, a fixed RetryBackoff sleep between
+	// attempts, and SubmitBusy's RetryAfter hint ignored. It exists as the
+	// ablation arm of the megaload experiment (C1) and should never be set
+	// in production use.
+	Naive bool
 	// Recorder, when set, captures every Submit/SubmitSeq as a history
-	// operation: acknowledged submits record their reply, a submit that
-	// gives up (ctx expired or client closed) after the command may have
-	// reached the service records an ambiguous outcome, and one that
-	// provably never left the client records a failure.
+	// operation: acknowledged submits record their reply; a submit that
+	// gives up after an attempt may have reached the service records an
+	// ambiguous outcome; one that provably never executed (every attempt
+	// was answered with a redirect or a shed) records a failure.
 	Recorder *history.Recorder
 }
 
@@ -44,111 +77,303 @@ func (o Options) withDefaults() Options {
 		o.Resend = 50 * time.Millisecond
 	}
 	if o.RetryBackoff <= 0 {
-		o.RetryBackoff = 5 * time.Millisecond
+		o.RetryBackoff = 2 * time.Millisecond
+	}
+	if o.RetryMax <= 0 {
+		o.RetryMax = 250 * time.Millisecond
 	}
 	return o
 }
 
-// Stats counts the client's control-plane activity.
+// Stats counts one session's control-plane activity.
 type Stats struct {
 	Submits   int64 // completed Submit calls (including reads)
 	Reads     int64 // completed Read calls
 	Attempts  int64 // individual RPC attempts
 	Redirects int64 // redirect replies followed
+	Busy      int64 // SubmitBusy shed replies received
+}
+
+// DirectoryStats counts the shared cache's activity.
+type DirectoryStats struct {
+	Adopts int64 // configuration adoptions (strictly newer than cached)
 }
 
 // ErrClosed is returned after Close.
 var ErrClosed = errors.New("client: closed")
 
-// Client is a session against the replicated service.
-type Client struct {
-	id    types.NodeID
+// ErrBudgetExhausted matches (via errors.Is) a BudgetError.
+var ErrBudgetExhausted = errors.New("client: retry budget exhausted")
+
+// BudgetError reports a Submit that ran out of its retry budget. Ambiguous
+// distinguishes "the command may have executed" (an attempt timed out or the
+// reply was lost) from "the command provably never executed" (every attempt
+// was answered with a redirect or a shed) — the distinction open-loop load
+// harnesses need to count silent drops. The smart client never returns an
+// ambiguous BudgetError (it pursues a maybe-applied command until ctx
+// expiry); only the Naive ablation abandons one at the budget.
+type BudgetError struct {
+	Attempts  int
+	Ambiguous bool
+}
+
+func (e *BudgetError) Error() string {
+	state := "provably not executed"
+	if e.Ambiguous {
+		state = "outcome ambiguous"
+	}
+	return fmt.Sprintf("client: retry budget exhausted after %d attempts (%s)", e.Attempts, state)
+}
+
+func (e *BudgetError) Is(target error) bool { return target == ErrBudgetExhausted }
+
+// Directory is the process-wide service view shared by all sessions: one rpc
+// peer (sessions multiplex over its per-server connections), one cached
+// configuration + leader hint, one round-robin cursor. All methods are safe
+// for concurrent use.
+type Directory struct {
 	peer  *rpc.Peer
 	seeds []types.NodeID
-	opts  Options
 
 	mu     sync.Mutex
-	seq    uint64
 	cfg    types.Config
 	leader types.NodeID
-	rr     int // round-robin cursor
+	rr     int
+	rng    *rand.Rand // shared jitter source: a rand.Rand is ~5KB, too big per session
+	adopts int64
+	closed bool
+}
+
+// NewDirectory creates a shared service view attached to the network via ep,
+// knowing at least the seed nodes.
+func NewDirectory(ep *transport.Endpoint, seeds []types.NodeID) *Directory {
+	return &Directory{
+		peer:  rpc.NewPeer(ep, reconfig.ControlStream, nil),
+		seeds: types.CloneNodeIDs(seeds),
+		rng:   rand.New(rand.NewSource(reconfig.SeedFor("client-directory"))),
+	}
+}
+
+// Session creates a client session named id over this directory. Sessions
+// are cheap — a couple hundred bytes, no transport state, no private rng —
+// so a megaload harness can hold 100k of them.
+func (d *Directory) Session(id types.NodeID, opts Options) *Client {
+	opts = opts.withDefaults()
+	c := &Client{id: id, dir: d, opts: opts}
+	if opts.Naive {
+		c.naive = &dirCache{}
+	}
+	return c
+}
+
+// backoff draws one jittered delay from the shared source.
+func (d *Directory) backoff(attempt int, base, max time.Duration) time.Duration {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return reconfig.BackoffDelay(attempt, base, max, d.rng)
+}
+
+// Close releases the directory's transport resources. Sessions created from
+// it stop working.
+func (d *Directory) Close() {
+	d.mu.Lock()
+	d.closed = true
+	d.mu.Unlock()
+	d.peer.Close()
+}
+
+// Stats returns a snapshot of the directory's counters.
+func (d *Directory) Stats() DirectoryStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return DirectoryStats{Adopts: d.adopts}
+}
+
+// KnownConfig returns the cached configuration (zero before the first
+// successful interaction).
+func (d *Directory) KnownConfig() types.Config {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.cfg.Clone()
+}
+
+// dirCache is the mutable routing state a target choice needs: the cached
+// configuration, the one-shot leader hint, and the rotation cursor. The
+// Directory embeds one logically (shared by all sessions); a Naive session
+// carries a private one.
+type dirCache struct {
+	cfg    types.Config
+	leader types.NodeID
+	rr     int
+}
+
+func (dc *dirCache) next(seeds []types.NodeID) types.NodeID {
+	if dc.leader != "" && dc.cfg.IsMember(dc.leader) {
+		lead := dc.leader
+		dc.leader = "" // use it once; a failure falls back to rotation
+		return lead
+	}
+	pool := dc.cfg.Members
+	if len(pool) == 0 {
+		pool = seeds
+	}
+	if len(pool) == 0 {
+		return ""
+	}
+	dc.rr++
+	return pool[dc.rr%len(pool)]
+}
+
+// observe folds reply hints into the cache; reports whether a strictly newer
+// configuration was adopted.
+func (dc *dirCache) observe(cfg types.Config, leader types.NodeID) bool {
+	adopted := false
+	if cfg.ID > dc.cfg.ID {
+		dc.cfg = cfg.Clone()
+		adopted = true
+	}
+	if leader != "" {
+		dc.leader = leader
+	}
+	return adopted
+}
+
+// nextTarget picks where to send the next attempt: the cached leader if it
+// is still a member, else round-robin over the cached configuration, else
+// the seeds.
+func (d *Directory) nextTarget() types.NodeID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	dc := dirCache{cfg: d.cfg, leader: d.leader, rr: d.rr}
+	t := dc.next(d.seeds)
+	d.cfg, d.leader, d.rr = dc.cfg, dc.leader, dc.rr
+	return t
+}
+
+// observe folds hints from a reply into the shared cache. Adoption is
+// generation-gated: a session reporting an older configuration than the
+// cache never regresses it, and the adoption counter increments exactly once
+// per generation no matter how many sessions race to report it.
+func (d *Directory) observe(cfg types.Config, leader types.NodeID) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	dc := dirCache{cfg: d.cfg, leader: d.leader, rr: d.rr}
+	if dc.observe(cfg, leader) {
+		d.adopts++
+	}
+	d.cfg, d.leader, d.rr = dc.cfg, dc.leader, dc.rr
+}
+
+// Client is a session against the replicated service, multiplexed over its
+// Directory's shared transport. A session's methods must not be called
+// concurrently with each other (sequence numbers order its commands);
+// distinct sessions are independent.
+type Client struct {
+	id   types.NodeID
+	dir  *Directory
+	opts Options
+
+	// naive, when non-nil, is this session's private routing cache — the
+	// C1 ablation arm. The shared directory is bypassed entirely.
+	naive *dirCache
+
+	mu     sync.Mutex
+	ownDir bool // Close tears down dir too (New-created sessions)
+	seq    uint64
 	closed bool
 	stats  Stats
 }
 
-// New creates a client identified by id (its session name), attached to the
-// network via ep, knowing at least the seed nodes.
+// New creates a standalone client identified by id (its session name),
+// attached to the network via ep, knowing at least the seed nodes. It owns a
+// private Directory; use NewDirectory + Session to share one across
+// sessions.
 func New(id types.NodeID, ep *transport.Endpoint, seeds []types.NodeID, opts Options) *Client {
-	return &Client{
-		id:    id,
-		peer:  rpc.NewPeer(ep, reconfig.ControlStream, nil),
-		seeds: types.CloneNodeIDs(seeds),
-		opts:  opts.withDefaults(),
-	}
+	c := NewDirectory(ep, seeds).Session(id, opts)
+	c.ownDir = true
+	return c
 }
 
-// Close releases the client's transport resources.
+// Close releases the client's resources. A session created with New closes
+// its private directory (and transport); a Directory-shared session only
+// marks itself closed.
 func (c *Client) Close() {
 	c.mu.Lock()
 	c.closed = true
+	own := c.ownDir
 	c.mu.Unlock()
-	c.peer.Close()
+	if own {
+		c.dir.Close()
+	}
 }
 
 // ID returns the client's session identifier.
 func (c *Client) ID() types.NodeID { return c.id }
 
-// Stats returns a snapshot of the client's counters.
+// Directory returns the shared service view this session routes through.
+func (c *Client) Directory() *Directory { return c.dir }
+
+// Stats returns a snapshot of the session's counters.
 func (c *Client) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.stats
 }
 
-// KnownConfig returns the client's cached configuration (zero before the
-// first successful interaction).
+// KnownConfig returns the cached configuration (the session-private one in
+// Naive mode, the shared one otherwise).
 func (c *Client) KnownConfig() types.Config {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.cfg.Clone()
+	if c.naive != nil {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return c.naive.cfg.Clone()
+	}
+	return c.dir.KnownConfig()
 }
 
-// nextTarget picks where to send the next attempt: the cached leader if it
-// is still a member, else round-robin over the cached configuration, else
-// the seeds.
-func (c *Client) nextTarget() types.NodeID {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.leader != "" && c.cfg.IsMember(c.leader) {
-		lead := c.leader
-		c.leader = "" // use it once; a failure falls back to rotation
-		return lead
+// target picks the next node to try.
+func (c *Client) target() types.NodeID {
+	if c.naive != nil {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return c.naive.next(c.dir.seeds)
 	}
-	pool := c.cfg.Members
-	if len(pool) == 0 {
-		pool = c.seeds
-	}
-	if len(pool) == 0 {
-		return ""
-	}
-	c.rr++
-	return pool[c.rr%len(pool)]
+	return c.dir.nextTarget()
 }
 
-// observe folds hints from a reply into the cache.
+// observe folds reply hints into the routing cache.
 func (c *Client) observe(cfg types.Config, leader types.NodeID) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if cfg.ID > c.cfg.ID {
-		c.cfg = cfg.Clone()
+	if c.naive != nil {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		c.naive.observe(cfg, leader)
+		return
 	}
-	if leader != "" {
-		c.leader = leader
+	c.dir.observe(cfg, leader)
+}
+
+// retryDelay computes the pause before the next attempt: jittered
+// exponential backoff, floored by the server's RetryAfter hint when one was
+// given. The Naive ablation sleeps a fixed RetryBackoff and ignores hints.
+func (c *Client) retryDelay(attempt int, hint time.Duration) time.Duration {
+	if c.opts.Naive {
+		return c.opts.RetryBackoff
 	}
+	var d time.Duration
+	if c.opts.NoJitter {
+		d = reconfig.BackoffDelay(attempt, c.opts.RetryBackoff, c.opts.RetryMax, nil)
+	} else {
+		d = c.dir.backoff(attempt, c.opts.RetryBackoff, c.opts.RetryMax)
+	}
+	if hint > d {
+		d = hint
+	}
+	return d
 }
 
 // Submit executes op with a fresh sequence number, retrying across leader
-// changes and reconfigurations until acknowledged or ctx expires.
+// changes and reconfigurations until acknowledged, the retry budget runs
+// out, or ctx expires.
 func (c *Client) Submit(ctx context.Context, op []byte) ([]byte, error) {
 	c.mu.Lock()
 	if c.closed {
@@ -171,56 +396,87 @@ func (c *Client) SubmitSeq(ctx context.Context, seq uint64, op []byte) ([]byte, 
 	if rec != nil {
 		h = rec.Invoke(c.id, seq, op)
 	}
-	sent := false // true once any attempt may have reached the service
-	for {
-		target := c.nextTarget()
-		if target == "" {
-			if rec != nil {
-				if sent {
-					rec.Info(h)
-				} else {
-					rec.Fail(h)
-				}
+	// maybeApplied: true once some attempt's outcome is unknown (the call
+	// errored, or the reply was undecodable). While false, every attempt
+	// was answered with a redirect or a shed — the command provably never
+	// executed, so giving up is a clean failure, not a silent drop.
+	maybeApplied := false
+	giveUp := func(err error) ([]byte, error) {
+		if rec != nil {
+			if maybeApplied {
+				rec.Info(h)
+			} else {
+				rec.Fail(h)
 			}
-			return nil, fmt.Errorf("client: no known nodes")
+		}
+		return nil, err
+	}
+	for attempt := 1; ; attempt++ {
+		target := c.target()
+		if target == "" {
+			return giveUp(fmt.Errorf("client: no known nodes"))
 		}
 		c.mu.Lock()
 		c.stats.Attempts++
 		c.mu.Unlock()
 
-		sent = true
-		attempt, cancel := context.WithTimeout(ctx, c.opts.AttemptTimeout)
-		resp, err := c.peer.Call(attempt, target, req, c.opts.Resend)
+		var hint time.Duration
+		actx, cancel := context.WithTimeout(ctx, c.opts.AttemptTimeout)
+		resp, err := c.peer().Call(actx, target, req, c.opts.Resend)
 		cancel()
-		if err == nil {
-			if res, derr := reconfig.DecodeSubmitResult(resp); derr == nil {
-				c.observe(res.Config, res.Leader)
-				switch res.Status {
-				case reconfig.SubmitApplied:
-					c.mu.Lock()
-					c.stats.Submits++
-					c.mu.Unlock()
-					if rec != nil {
-						rec.Ok(h, res.Reply)
-					}
-					return res.Reply, nil
-				case reconfig.SubmitRedirect:
-					c.mu.Lock()
-					c.stats.Redirects++
-					c.mu.Unlock()
+		if err != nil {
+			maybeApplied = true // the command may have reached the node
+		} else if res, derr := reconfig.DecodeSubmitResult(resp); derr != nil {
+			maybeApplied = true
+		} else {
+			c.observe(res.Config, res.Leader)
+			switch res.Status {
+			case reconfig.SubmitApplied:
+				c.mu.Lock()
+				c.stats.Submits++
+				c.mu.Unlock()
+				if rec != nil {
+					rec.Ok(h, res.Reply)
 				}
+				return res.Reply, nil
+			case reconfig.SubmitRedirect:
+				c.mu.Lock()
+				c.stats.Redirects++
+				c.mu.Unlock()
+			case reconfig.SubmitBusy:
+				c.mu.Lock()
+				c.stats.Busy++
+				c.mu.Unlock()
+				if !c.opts.Naive {
+					hint = res.RetryAfter
+				}
+			default:
+				maybeApplied = true // unknown status: assume the worst
 			}
+		}
+		// The budget bounds clean refusals only: a maybe-applied command is
+		// pursued (same seq, dedup-idempotent) until a definitive reply or
+		// ctx expiry — abandoning it here would be a silent drop. The Naive
+		// ablation gives up regardless; C1 counts what that costs.
+		if c.opts.RetryBudget > 0 && attempt >= c.opts.RetryBudget && (!maybeApplied || c.opts.Naive) {
+			return giveUp(&BudgetError{Attempts: attempt, Ambiguous: maybeApplied})
 		}
 		select {
 		case <-ctx.Done():
 			if rec != nil {
-				rec.Info(h)
+				if maybeApplied {
+					rec.Info(h)
+				} else {
+					rec.Fail(h)
+				}
 			}
 			return nil, ctx.Err()
-		case <-time.After(c.opts.RetryBackoff):
+		case <-time.After(c.retryDelay(attempt, hint)):
 		}
 	}
 }
+
+func (c *Client) peer() *rpc.Peer { return c.dir.peer }
 
 // Read executes a read-only op. The wire protocol is the same as Submit —
 // the service classifies read-only ops and serves them through the read
@@ -253,13 +509,13 @@ func (c *Client) ReadSeq(ctx context.Context, seq uint64, op []byte) ([]byte, er
 // Locate queries any reachable node for the current configuration.
 func (c *Client) Locate(ctx context.Context) (types.Config, error) {
 	req := reconfig.EncodeLocateRequest()
-	for {
-		target := c.nextTarget()
+	for attempt := 1; ; attempt++ {
+		target := c.target()
 		if target == "" {
 			return types.Config{}, fmt.Errorf("client: no known nodes")
 		}
-		attempt, cancel := context.WithTimeout(ctx, c.opts.AttemptTimeout)
-		resp, err := c.peer.Call(attempt, target, req, c.opts.Resend)
+		actx, cancel := context.WithTimeout(ctx, c.opts.AttemptTimeout)
+		resp, err := c.peer().Call(actx, target, req, c.opts.Resend)
 		cancel()
 		if err == nil {
 			if res, derr := reconfig.DecodeLocateResult(resp); derr == nil && res.Config.ID != 0 {
@@ -270,7 +526,7 @@ func (c *Client) Locate(ctx context.Context) (types.Config, error) {
 		select {
 		case <-ctx.Done():
 			return types.Config{}, ctx.Err()
-		case <-time.After(c.opts.RetryBackoff):
+		case <-time.After(c.retryDelay(attempt, 0)):
 		}
 	}
 }
@@ -278,15 +534,15 @@ func (c *Client) Locate(ctx context.Context) (types.Config, error) {
 // Reconfigure asks the service (via any member) to change membership.
 func (c *Client) Reconfigure(ctx context.Context, members []types.NodeID) (types.Config, error) {
 	req := reconfig.EncodeReconfigRequest(members)
-	for {
-		target := c.nextTarget()
+	for attempt := 1; ; attempt++ {
+		target := c.target()
 		if target == "" {
 			return types.Config{}, fmt.Errorf("client: no known nodes")
 		}
 		// Reconfiguration includes consensus + transfer: allow a longer
 		// attempt than a plain submit.
-		attempt, cancel := context.WithTimeout(ctx, 4*c.opts.AttemptTimeout)
-		resp, err := c.peer.Call(attempt, target, req, c.opts.Resend)
+		actx, cancel := context.WithTimeout(ctx, 4*c.opts.AttemptTimeout)
+		resp, err := c.peer().Call(actx, target, req, c.opts.Resend)
 		cancel()
 		if err == nil {
 			if res, derr := reconfig.DecodeReconfigResult(resp); derr == nil {
@@ -300,7 +556,7 @@ func (c *Client) Reconfigure(ctx context.Context, members []types.NodeID) (types
 		select {
 		case <-ctx.Done():
 			return types.Config{}, ctx.Err()
-		case <-time.After(c.opts.RetryBackoff):
+		case <-time.After(c.retryDelay(attempt, 0)):
 		}
 	}
 }
@@ -308,13 +564,13 @@ func (c *Client) Reconfigure(ctx context.Context, members []types.NodeID) (types
 // Chain fetches the configuration chain from any reachable node.
 func (c *Client) Chain(ctx context.Context) (reconfig.ChainResult, error) {
 	req := reconfig.EncodeChainRequest()
-	for {
-		target := c.nextTarget()
+	for attempt := 1; ; attempt++ {
+		target := c.target()
 		if target == "" {
 			return reconfig.ChainResult{}, fmt.Errorf("client: no known nodes")
 		}
-		attempt, cancel := context.WithTimeout(ctx, c.opts.AttemptTimeout)
-		resp, err := c.peer.Call(attempt, target, req, c.opts.Resend)
+		actx, cancel := context.WithTimeout(ctx, c.opts.AttemptTimeout)
+		resp, err := c.peer().Call(actx, target, req, c.opts.Resend)
 		cancel()
 		if err == nil {
 			if res, derr := reconfig.DecodeChainResult(resp); derr == nil {
@@ -324,7 +580,7 @@ func (c *Client) Chain(ctx context.Context) (reconfig.ChainResult, error) {
 		select {
 		case <-ctx.Done():
 			return reconfig.ChainResult{}, ctx.Err()
-		case <-time.After(c.opts.RetryBackoff):
+		case <-time.After(c.retryDelay(attempt, 0)):
 		}
 	}
 }

@@ -71,6 +71,8 @@ type GroupStats struct {
 	ApplyStalls         int64 // summed over replicas
 	GroupCommits        int64 // summed over replicas
 	InvariantViolations int64 // summed over replicas
+	ShedSubmits         int64 // summed over replicas (admission control)
+	SubmitQueueHigh     int64 // max over replicas (proposal queue high-water)
 }
 
 // NewGroupManager creates an empty manager (no processes, no groups).
@@ -554,8 +556,12 @@ func (m *GroupManager) GroupStats(gid types.GroupID) GroupStats {
 		out.ApplyStalls += st.ApplyStalls
 		out.GroupCommits += st.GroupCommits
 		out.InvariantViolations += st.InvariantViolations
+		out.ShedSubmits += st.ShedSubmits
 		if st.ApplyQueueHighWater > out.ApplyQueueHighWater {
 			out.ApplyQueueHighWater = st.ApplyQueueHighWater
+		}
+		if st.SubmitQueueHigh > out.SubmitQueueHigh {
+			out.SubmitQueueHigh = st.SubmitQueueHigh
 		}
 	}
 	return out

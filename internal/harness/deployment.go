@@ -96,6 +96,16 @@ type Tuning struct {
 	// baseline the sharded parallel apply is measured against.
 	SerialApply bool
 
+	// SubmitQueue bounds each composed node's pending proposal queue
+	// (admission control; 0 = reconfig default).
+	SubmitQueue int
+	// NoAdmission disables the composed system's admission control — the
+	// C1 ablation: overload silently queues instead of shedding.
+	NoAdmission bool
+	// SessionLimit bounds each composed node's session dedup table to an
+	// LRU of this many sessions (0 = unbounded).
+	SessionLimit int
+
 	// Reads selects the composed system's read-serving mode (log, read-index
 	// or leases); 0 keeps the reconfig default (read-index).
 	Reads reconfig.ReadMode
@@ -284,6 +294,9 @@ func newComposed(t Tuning, factory statemachine.Factory, initial, spares []types
 		Reads:              t.Reads,
 		LeaseTicks:         t.LeaseTicks,
 		SerialApply:        t.SerialApply,
+		SubmitQueue:        t.SubmitQueue,
+		NoAdmission:        t.NoAdmission,
+		SessionLimit:       t.SessionLimit,
 	}
 	boot := func(id types.NodeID, member bool) error {
 		st, err := d.stores.open(id)

@@ -5,11 +5,11 @@ import (
 	"time"
 )
 
-// backoffDelay computes the sleep before retry number attempt (1-based):
+// BackoffDelay computes the sleep before retry number attempt (1-based):
 // exponential doubling from base, capped at max, with ±25% jitter drawn from
 // rng so retry storms from nodes that failed together decorrelate. A nil rng
 // yields the deterministic midpoint (used by the schedule-pinning test).
-func backoffDelay(attempt int, base, max time.Duration, rng *rand.Rand) time.Duration {
+func BackoffDelay(attempt int, base, max time.Duration, rng *rand.Rand) time.Duration {
 	if base <= 0 {
 		base = time.Millisecond
 	}
@@ -35,9 +35,9 @@ func backoffDelay(attempt int, base, max time.Duration, rng *rand.Rand) time.Dur
 	return d
 }
 
-// seedFor derives a stable per-node rng seed (FNV-1a over the node ID) so
+// SeedFor derives a stable per-node rng seed (FNV-1a over the node ID) so
 // jitter differs across nodes but a node's schedule is reproducible.
-func seedFor(id string) int64 {
+func SeedFor(id string) int64 {
 	h := uint64(14695981039346656037)
 	for i := 0; i < len(id); i++ {
 		h ^= uint64(id[i])

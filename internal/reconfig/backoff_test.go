@@ -23,21 +23,21 @@ func TestBackoffSchedule(t *testing.T) {
 		400 * time.Millisecond, // attempt 8 (stays capped)
 	}
 	for i, w := range want {
-		if got := backoffDelay(i+1, base, max, nil); got != w {
+		if got := BackoffDelay(i+1, base, max, nil); got != w {
 			t.Errorf("attempt %d: got %v, want %v", i+1, got, w)
 		}
 	}
 }
 
 func TestBackoffDegenerateInputs(t *testing.T) {
-	if got := backoffDelay(0, 10*time.Millisecond, 0, nil); got != 10*time.Millisecond {
+	if got := BackoffDelay(0, 10*time.Millisecond, 0, nil); got != 10*time.Millisecond {
 		t.Errorf("attempt 0 clamps to 1: got %v", got)
 	}
-	if got := backoffDelay(3, 0, 0, nil); got != 4*time.Millisecond {
+	if got := BackoffDelay(3, 0, 0, nil); got != 4*time.Millisecond {
 		t.Errorf("zero base defaults to 1ms: got %v", got)
 	}
 	// No max: pure doubling.
-	if got := backoffDelay(10, time.Millisecond, 0, nil); got != 512*time.Millisecond {
+	if got := BackoffDelay(10, time.Millisecond, 0, nil); got != 512*time.Millisecond {
 		t.Errorf("uncapped attempt 10: got %v", got)
 	}
 }
@@ -45,15 +45,15 @@ func TestBackoffDegenerateInputs(t *testing.T) {
 // TestBackoffJitterBounds checks every jittered delay stays within ±25% of
 // the deterministic midpoint, and that the jitter actually spreads values.
 func TestBackoffJitterBounds(t *testing.T) {
-	rng := rand.New(rand.NewSource(seedFor("jitter-test")))
+	rng := rand.New(rand.NewSource(SeedFor("jitter-test")))
 	base := 10 * time.Millisecond
 	max := 400 * time.Millisecond
 	seen := map[time.Duration]bool{}
 	for attempt := 1; attempt <= 8; attempt++ {
-		mid := backoffDelay(attempt, base, max, nil)
+		mid := BackoffDelay(attempt, base, max, nil)
 		lo, hi := mid-mid/4, mid+mid/4
 		for i := 0; i < 200; i++ {
-			d := backoffDelay(attempt, base, max, rng)
+			d := BackoffDelay(attempt, base, max, rng)
 			if d < lo || d > hi {
 				t.Fatalf("attempt %d: %v outside [%v, %v]", attempt, d, lo, hi)
 			}
@@ -69,14 +69,14 @@ func TestBackoffJitterBounds(t *testing.T) {
 // distinct seeds, the same node always the same seed, and seeds are
 // non-negative (rand.NewSource accepts any int64 but keep them canonical).
 func TestSeedForStable(t *testing.T) {
-	a1, a2, b := seedFor("n1"), seedFor("n1"), seedFor("n2")
+	a1, a2, b := SeedFor("n1"), SeedFor("n1"), SeedFor("n2")
 	if a1 != a2 {
-		t.Fatalf("seedFor not stable: %d vs %d", a1, a2)
+		t.Fatalf("SeedFor not stable: %d vs %d", a1, a2)
 	}
 	if a1 == b {
-		t.Fatalf("seedFor collides for n1/n2: %d", a1)
+		t.Fatalf("SeedFor collides for n1/n2: %d", a1)
 	}
 	if a1 < 0 || b < 0 {
-		t.Fatalf("seedFor produced negative seed: %d %d", a1, b)
+		t.Fatalf("SeedFor produced negative seed: %d %d", a1, b)
 	}
 }

@@ -18,6 +18,7 @@ package reconfig
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/types"
 )
@@ -56,8 +57,9 @@ const (
 	// SubmitRedirect means this node is not serving the current
 	// configuration; Config/Leader hint where to go.
 	SubmitRedirect SubmitStatus = 2
-	// SubmitBusy means the node is serving but couldn't accept the
-	// command right now; retry.
+	// SubmitBusy means the node shed the command under admission control:
+	// its proposal queue is full. The reply's RetryAfter hints how long to
+	// back off before retrying (here or at another member).
 	SubmitBusy SubmitStatus = 3
 )
 
@@ -153,15 +155,19 @@ type submitReply struct {
 	Reply  []byte
 	Config types.Config // current config hint (always set)
 	Leader types.NodeID // leader hint, may be empty
+	// RetryAfter is the server's backoff hint on SubmitBusy: how long the
+	// shedding node expects its queue to take to drain. Zero otherwise.
+	RetryAfter time.Duration
 }
 
 func encodeSubmitReply(m submitReply) []byte {
-	w := types.NewWriter(32 + len(m.Reply) + 12*len(m.Config.Members))
+	w := types.NewWriter(36 + len(m.Reply) + 12*len(m.Config.Members))
 	w.Byte(opSubmitReply)
 	w.Byte(byte(m.Status))
 	w.BytesField(m.Reply)
 	m.Config.Encode(w)
 	w.NodeID(m.Leader)
+	w.Uvarint(uint64(m.RetryAfter / time.Microsecond))
 	return w.Bytes()
 }
 
@@ -176,6 +182,7 @@ func decodeSubmitReply(buf []byte) (submitReply, error) {
 		Config: types.DecodeConfigFrom(r),
 		Leader: r.NodeID(),
 	}
+	m.RetryAfter = time.Duration(r.Uvarint()) * time.Microsecond
 	if err := r.Err(); err != nil {
 		return submitReply{}, fmt.Errorf("submit reply: %w", err)
 	}

@@ -84,6 +84,27 @@ type Options struct {
 	// stall — visible in NodeStats and via a rate-limited warning. Default
 	// 8192.
 	ApplyQueue int
+	// SubmitQueue bounds how many distinct client commands may be pending
+	// (admitted but not yet applied) on this node at once — the admission
+	// control bound. A new command that would exceed it is shed with an
+	// explicit SubmitBusy{RetryAfter} reply instead of silently joining an
+	// unbounded queue. Retries of already-admitted commands only attach a
+	// waiter and always pass, and nothing but client submissions is ever
+	// shed — reconfigurations, chain/announce exchanges and state transfer
+	// use their own op codes and bypass the bound entirely (prioritized
+	// admission). Default 4096.
+	SubmitQueue int
+	// NoAdmission disables the submit-queue bound: every command is
+	// admitted and overload surfaces only as growing queues and silent
+	// inbound drops — the pre-admission-control behavior. Ablation switch
+	// for experiment C1.
+	NoAdmission bool
+	// SessionLimit bounds the machine's client-session dedup table: beyond
+	// it, the least-recently-writing session is evicted. An evicted
+	// client's retry of an old command is rejected (stale, nil reply)
+	// rather than double-applied; a genuinely new session always starts at
+	// seq 1 and is admitted. 0 (default) keeps the table unbounded.
+	SessionLimit int
 }
 
 // SpecMode selects the successor engine start policy. The zero value is
@@ -143,6 +164,9 @@ func (o Options) withDefaults() Options {
 	if o.ApplyQueue <= 0 {
 		o.ApplyQueue = 8192
 	}
+	if o.SubmitQueue <= 0 {
+		o.SubmitQueue = 4096
+	}
 	if o.Reads == 0 {
 		o.Reads = ReadModeIndex
 	}
@@ -177,6 +201,9 @@ var (
 	// ErrConflict means a concurrent reconfiguration won; the caller's
 	// proposal was not adopted.
 	ErrConflict = errors.New("reconfig: a concurrent reconfiguration was chosen instead")
+	// ErrBusy means the node shed the command under admission control
+	// (submit queue full); back off and retry, here or at another member.
+	ErrBusy = errors.New("reconfig: submit queue full")
 	// ErrStopped is returned after Stop.
 	ErrStopped = errors.New("reconfig: node stopped")
 	// ErrNotBootstrapped means Start found no initial configuration.
@@ -237,6 +264,9 @@ type NodeStats struct {
 	GroupCommits        int64 // engine bursts ending in a group-commit Sync, summed
 	SpeculativeDecides  int64 // decisions learned for a configuration before its snapshot installed
 	SpeculativeParked   int64 // decisions already parked for the new config when its snapshot installed
+	ShedSubmits         int64 // client commands shed with SubmitBusy (admission control)
+	SubmitQueueDepth    int64 // distinct client commands pending right now
+	SubmitQueueHigh     int64 // max observed pending-command count
 }
 
 // Node is one process's reconfigurable-SMR runtime: it hosts the static
@@ -311,6 +341,7 @@ type Node struct {
 	applyStalls    atomic.Int64
 	applyHighWater atomic.Int64
 	lastStallWarn  atomic.Int64
+	lastShedWarn   atomic.Int64
 
 	stats struct {
 		applied, duplicates, wedges, staleJumps int64
@@ -320,6 +351,7 @@ type Node struct {
 		wedgeCaptureNS                          int64
 		resubmits, violations                   int64
 		specDecides, specParked                 int64
+		shedSubmits, submitHighWater            int64
 	}
 	reads stats.ReadPathCounters
 }
@@ -344,7 +376,7 @@ func NewNode(nc NodeConfig) (*Node, error) {
 		pending:     make(map[pendKey]*pendingCmd),
 		serving:     make(map[types.ConfigID]*snapServing),
 		firstDecide: make(map[types.ConfigID]time.Time),
-		rng:         rand.New(rand.NewSource(seedFor(string(nc.Self)))),
+		rng:         rand.New(rand.NewSource(SeedFor(string(nc.Self)))),
 		applyCh:     make(chan taggedDecision, opts.ApplyQueue),
 		pumpCh:      make(chan struct{}, 1),
 		stopCh:      make(chan struct{}),
@@ -434,6 +466,7 @@ func (n *Node) Start() error {
 	// chunk set (crashed mid-transfer) leaves the node uninitialized and
 	// the housekeeping loop resumes the fetch from the persisted chunks.
 	n.machine = statemachine.NewSessioned(n.factory())
+	n.machine.SetSessionLimit(n.opts.SessionLimit)
 	if m, chunks, complete, err := storage.ReadChunked(n.store, snapPrefix(n.curID)); err != nil {
 		return err
 	} else if complete && m.Chunks() > 0 {
@@ -581,6 +614,21 @@ func (n *Node) warnApplyStall() {
 	}
 }
 
+// warnShed logs at most once per second that admission control is shedding
+// client commands. Caller holds mu (the shed counter lives under it); the
+// rate gate is atomic so the common suppressed path stays cheap.
+func (n *Node) warnShed() {
+	now := time.Now().UnixNano()
+	last := n.lastShedWarn.Load()
+	if now-last < int64(time.Second) {
+		return
+	}
+	if n.lastShedWarn.CompareAndSwap(last, now) {
+		log.Printf("reconfig: %s shedding client submits (queue cap %d, %d shed so far); clients are told SubmitBusy",
+			n.self, n.opts.SubmitQueue, n.stats.shedSubmits)
+	}
+}
+
 // scheduleEngineStop stops an old engine after the linger period, keeping it
 // available for laggards' catch-up meanwhile.
 func (n *Node) scheduleEngineStop(run *engineRun) {
@@ -703,6 +751,9 @@ func (n *Node) Stats() NodeStats {
 		GroupCommits:        groupCommits,
 		SpeculativeDecides:  n.stats.specDecides,
 		SpeculativeParked:   n.stats.specParked,
+		ShedSubmits:         n.stats.shedSubmits,
+		SubmitQueueDepth:    int64(len(n.pending)),
+		SubmitQueueHigh:     n.stats.submitHighWater,
 	}
 }
 

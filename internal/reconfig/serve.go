@@ -122,6 +122,10 @@ func (n *Node) handleSubmit(cmd types.Command, respond func([]byte)) {
 		// install completes — exactly the window speculation exists to close.
 		// The dedup and fast-read checks below need machine state we do not
 		// have yet; both remain correct at apply time.
+		if !n.admitSubmitLocked(cmd) {
+			respond(n.busyReplyLocked())
+			return
+		}
 		n.enqueueSubmitLocked(cmd, respond)
 		return
 	}
@@ -157,7 +161,41 @@ func (n *Node) handleSubmit(cmd types.Command, respond func([]byte)) {
 		respond(n.redirectReplyLocked())
 		return
 	}
+	if !n.admitSubmitLocked(cmd) {
+		respond(n.busyReplyLocked())
+		return
+	}
 	n.enqueueSubmitLocked(cmd, respond)
+}
+
+// admitSubmitLocked decides whether a client command may join the pending
+// proposal queue — the admission control gate. A retry of an already-admitted
+// command always passes (it only attaches another waiter); past the bound,
+// new commands are shed. Only opSubmit traffic ever reaches this gate:
+// reconfigurations, chain records, announces and state transfer have their
+// own op codes, so control-plane progress is never queued behind client load.
+func (n *Node) admitSubmitLocked(cmd types.Command) bool {
+	if _, ok := n.pending[pendKey{client: cmd.Client, seq: cmd.Seq}]; ok {
+		return true
+	}
+	if n.opts.NoAdmission || len(n.pending) < n.opts.SubmitQueue {
+		return true
+	}
+	n.stats.shedSubmits++
+	n.warnShed()
+	return false
+}
+
+// busyReplyLocked builds the SubmitBusy shed reply. RetryAfter is the
+// housekeeping interval: by then the node has re-proposed its backlog at
+// least once, so the queue has had a real chance to drain.
+func (n *Node) busyReplyLocked() []byte {
+	return encodeSubmitReply(submitReply{
+		Status:     SubmitBusy,
+		Config:     n.configs[n.curID],
+		Leader:     n.leaderHintLocked(),
+		RetryAfter: n.opts.RetryInterval,
+	})
 }
 
 // enqueueSubmitLocked registers a pending waiter for cmd and proposes it
@@ -169,6 +207,9 @@ func (n *Node) enqueueSubmitLocked(cmd types.Command, respond func([]byte)) {
 	if !ok {
 		p = &pendingCmd{cmd: cmd}
 		n.pending[key] = p
+		if depth := int64(len(n.pending)); depth > n.stats.submitHighWater {
+			n.stats.submitHighWater = depth
+		}
 	}
 	p.responders = append(p.responders, respond)
 	if run, ok := n.engines[n.curID]; ok {
@@ -445,8 +486,10 @@ func (n *Node) Submit(ctx context.Context, client types.NodeID, seq uint64, op [
 			return sr.Reply, nil
 		case SubmitRedirect:
 			return nil, fmt.Errorf("%w: current is %s", ErrNotServing, sr.Config)
+		case SubmitBusy:
+			return nil, fmt.Errorf("%w: retry after %s", ErrBusy, sr.RetryAfter)
 		default:
-			return nil, fmt.Errorf("reconfig: submit busy")
+			return nil, fmt.Errorf("reconfig: unknown submit status %d", sr.Status)
 		}
 	case <-ctx.Done():
 		return nil, ctx.Err()

@@ -1,6 +1,8 @@
 package reconfig
 
 import (
+	"time"
+
 	"repro/internal/types"
 )
 
@@ -14,6 +16,9 @@ type SubmitResult struct {
 	Reply  []byte
 	Config types.Config // current configuration hint
 	Leader types.NodeID // leader hint (may be empty)
+	// RetryAfter is the server's backoff hint on SubmitBusy (zero
+	// otherwise): how long the shedding node expects to stay overloaded.
+	RetryAfter time.Duration
 }
 
 // LocateResult is the decoded outcome of a locate RPC.
@@ -46,10 +51,11 @@ func EncodeSubmitRequest(cmd types.Command) []byte {
 // plane).
 func EncodeSubmitResult(res SubmitResult) []byte {
 	return encodeSubmitReply(submitReply{
-		Status: res.Status,
-		Reply:  res.Reply,
-		Config: res.Config,
-		Leader: res.Leader,
+		Status:     res.Status,
+		Reply:      res.Reply,
+		Config:     res.Config,
+		Leader:     res.Leader,
+		RetryAfter: res.RetryAfter,
 	})
 }
 
@@ -59,7 +65,7 @@ func DecodeSubmitResult(buf []byte) (SubmitResult, error) {
 	if err != nil {
 		return SubmitResult{}, err
 	}
-	return SubmitResult{Status: m.Status, Reply: m.Reply, Config: m.Config, Leader: m.Leader}, nil
+	return SubmitResult{Status: m.Status, Reply: m.Reply, Config: m.Config, Leader: m.Leader, RetryAfter: m.RetryAfter}, nil
 }
 
 // EncodeLocateRequest encodes a configuration-discovery request.

@@ -221,6 +221,7 @@ func (n *Node) snapChunkRange(id types.ConfigID, first, count int) [][]byte {
 // set (any format).
 func (n *Node) buildMachine(m storage.ChunkManifest, chunks [][]byte) (*statemachine.Sessioned, error) {
 	fresh := statemachine.NewSessioned(n.factory())
+	fresh.SetSessionLimit(n.opts.SessionLimit)
 	if m.Format == statemachine.SnapshotFormatMono {
 		if len(chunks) != 1 {
 			return nil, fmt.Errorf("%w: monolithic snapshot with %d chunks", types.ErrCodec, len(chunks))
@@ -264,7 +265,7 @@ func (n *Node) runFetch(id types.ConfigID) {
 	}()
 
 	prefix := snapPrefix(id)
-	rng := rand.New(rand.NewSource(seedFor(string(n.self)) ^ int64(id)))
+	rng := rand.New(rand.NewSource(SeedFor(string(n.self)) ^ int64(id)))
 
 	// Resume: adopt whatever a previous attempt (possibly before a crash)
 	// already persisted. Corrupt or missing chunks come back nil.
@@ -329,7 +330,7 @@ func (n *Node) runFetch(id types.ConfigID) {
 		n.mu.Lock()
 		n.stats.chunkRetries++
 		n.mu.Unlock()
-		delay := backoffDelay(attempt, n.opts.RetryInterval, 4*n.opts.FetchTimeout, rng)
+		delay := BackoffDelay(attempt, n.opts.RetryInterval, 4*n.opts.FetchTimeout, rng)
 		select {
 		case <-time.After(delay):
 		case <-n.stopCh:

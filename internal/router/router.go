@@ -80,11 +80,28 @@ type Router struct {
 
 	mu     sync.Mutex
 	cached ShardMap
+	stats  RouterStats
+}
+
+// RouterStats counts the router's cache activity: how often redirects force
+// a directory read, and how many of those reads actually advanced the cached
+// generation. Adopts increments exactly once per generation no matter how
+// many submits race to report the same stale map.
+type RouterStats struct {
+	Refreshes int64 // directory reads triggered by redirects
+	Adopts    int64 // refreshes that adopted a strictly newer map
 }
 
 // New creates a router over the given runtime and directory.
 func New(groups Groups, dir Directory) *Router {
 	return &Router{groups: groups, dir: dir, cached: dir.Map()}
+}
+
+// Stats returns a snapshot of the router's counters.
+func (r *Router) Stats() RouterStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
 }
 
 // map_ returns the cached shard map without touching the directory — the
@@ -98,8 +115,10 @@ func (r *Router) map_() ShardMap {
 func (r *Router) refresh(staleGen uint64) ShardMap {
 	m := r.dir.Map()
 	r.mu.Lock()
+	r.stats.Refreshes++
 	if m.Gen > r.cached.Gen {
 		r.cached = m
+		r.stats.Adopts++
 	}
 	cur := r.cached
 	r.mu.Unlock()

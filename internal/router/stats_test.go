@@ -1,0 +1,128 @@
+package router
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/statemachine"
+	"repro/internal/types"
+)
+
+// genDir publishes a settable shard map.
+type genDir struct {
+	mu sync.Mutex
+	m  ShardMap
+}
+
+func (d *genDir) Map() ShardMap {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.m
+}
+
+func (d *genDir) set(m ShardMap) {
+	d.mu.Lock()
+	d.m = m
+	d.mu.Unlock()
+}
+
+// genGroups answers Moved until the routed op carries the current
+// generation, then acks — the wire behavior of a group that dropped a shard.
+type genGroups struct {
+	want    atomic.Uint64
+	submits atomic.Int64
+}
+
+func (g *genGroups) Submit(ctx context.Context, gid types.GroupID, client types.NodeID, seq uint64, op []byte) ([]byte, error) {
+	g.submits.Add(1)
+	r := types.NewReader(op[1:]) // skip OpRouted
+	shard := int(r.Uvarint())
+	gen := r.Uvarint()
+	if gen < g.want.Load() {
+		return movedReply(shard, g.want.Load()), nil
+	}
+	return []byte{byte(statemachine.StatusOK)}, nil
+}
+
+func (g *genGroups) ReconfigureGroup(ctx context.Context, gid types.GroupID, members []types.NodeID) (types.Config, error) {
+	return types.Config{}, nil
+}
+
+// Concurrent submits all hitting the same stale map must adopt the newer map
+// exactly once; every refresh past the first finds the cache already fresh.
+func TestRouterAdoptsNewMapExactlyOnce(t *testing.T) {
+	m1, err := SplitShards([]types.GroupID{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := &genDir{m: m1}
+	groups := &genGroups{}
+	rt := New(groups, dir)
+
+	// Publish generation 2; the router still caches generation 1.
+	m2 := m1
+	m2.Gen = 2
+	dir.set(m2)
+	groups.want.Store(2)
+
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := rt.Submit(context.Background(), "c", uint64(i+1), "k", statemachine.EncodeGet("k")); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	st := rt.Stats()
+	if st.Adopts != 1 {
+		t.Fatalf("adopted %d times, want exactly once (refreshes %d)", st.Adopts, st.Refreshes)
+	}
+	if st.Refreshes < 1 {
+		t.Fatal("no refreshes counted")
+	}
+	if rt.map_().Gen != 2 {
+		t.Fatalf("cached gen %d, want 2", rt.map_().Gen)
+	}
+}
+
+// A dropped (wedged) shard never serves from the stale cache entry: the
+// submit retries until the directory publishes the successor, and the ack
+// only ever comes from the post-refresh generation.
+func TestRouterStaleEntryNeverServes(t *testing.T) {
+	m1, err := SplitShards([]types.GroupID{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := &genDir{m: m1}
+	groups := &genGroups{}
+	rt := New(groups, dir)
+
+	// The owner fenced the shard at generation 3, but the directory has
+	// not published it yet: the router must wait out the handoff (Moved →
+	// refresh → same gen → pause) rather than serve stale.
+	groups.want.Store(3)
+	done := make(chan error, 1)
+	go func() {
+		_, err := rt.Submit(context.Background(), "c", 1, "k", statemachine.EncodeGet("k"))
+		done <- err
+	}()
+	// Publish the successor; the in-flight submit's next refresh adopts it.
+	m3 := m1
+	m3.Gen = 3
+	dir.set(m3)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	st := rt.Stats()
+	if st.Adopts != 1 {
+		t.Fatalf("adopts %d, want 1", st.Adopts)
+	}
+	if rt.map_().Gen != 3 {
+		t.Fatalf("cached gen %d, want 3", rt.map_().Gen)
+	}
+}

@@ -1,0 +1,207 @@
+package statemachine
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/types"
+)
+
+func TestSessionLimitEvictsLeastRecentlyWritten(t *testing.T) {
+	s := NewSessioned(NewCounterMachine())
+	s.SetSessionLimit(2)
+	s.ApplyCommand(appCmd("a", 1, EncodeAdd(1)))
+	s.ApplyCommand(appCmd("b", 1, EncodeAdd(1)))
+	s.ApplyCommand(appCmd("a", 2, EncodeAdd(1))) // refresh a
+	s.ApplyCommand(appCmd("c", 1, EncodeAdd(1))) // evicts b, not a
+	if s.Sessions() != 2 {
+		t.Fatalf("sessions = %d, want 2", s.Sessions())
+	}
+	if s.LastSeq("b") != 0 {
+		t.Fatal("b not evicted")
+	}
+	if s.LastSeq("a") != 2 || s.LastSeq("c") != 1 {
+		t.Fatalf("wrong survivors: a=%d c=%d", s.LastSeq("a"), s.LastSeq("c"))
+	}
+}
+
+// An evicted client that retries a command is refused — treated as a stale
+// duplicate, never re-executed — while a genuinely new client (seq 1) is
+// always admitted.
+func TestSessionEvictedRetryRefused(t *testing.T) {
+	s := NewSessioned(NewCounterMachine())
+	s.SetSessionLimit(1)
+	s.ApplyCommand(appCmd("a", 1, EncodeAdd(10)))
+	s.ApplyCommand(appCmd("b", 1, EncodeAdd(1))) // evicts a
+
+	rep, dup := s.ApplyCommand(appCmd("a", 2, EncodeAdd(10)))
+	if !dup || rep != nil {
+		t.Fatalf("evicted retry executed: dup=%v rep=%v", dup, rep)
+	}
+	v, _ := DecodeUvarintReply(ReplyPayload(mustReply(t, s, "probe")))
+	if v != 11 {
+		t.Fatalf("counter %d, want 11 (evicted retry must not apply)", v)
+	}
+
+	// A fresh client starting at seq 1 is admitted as usual.
+	if _, dup := s.ApplyCommand(appCmd("fresh", 1, EncodeAdd(1))); dup {
+		t.Fatal("fresh seq-1 client refused")
+	}
+}
+
+func mustReply(t *testing.T, s *Sessioned, client types.NodeID) []byte {
+	t.Helper()
+	rep, dup := s.ApplyCommand(appCmd(client, 1, EncodeAdd(0)))
+	if dup {
+		t.Fatalf("probe refused for %s", client)
+	}
+	return rep
+}
+
+// Unbounded tables keep the historical behavior: unknown clients at any seq
+// are admitted (a restarted client may legitimately resume mid-sequence).
+func TestUnboundedTableAdmitsUnknownHighSeq(t *testing.T) {
+	s := NewSessioned(NewCounterMachine())
+	if _, dup := s.ApplyCommand(appCmd("a", 7, EncodeAdd(1))); dup {
+		t.Fatal("unbounded table refused an unknown high-seq client")
+	}
+}
+
+// Two replicas applying the same command sequence must evict the same
+// sessions and produce byte-identical snapshots — eviction order is
+// replicated state under a bound.
+func TestSessionLimitDeterministicAcrossReplicas(t *testing.T) {
+	run := func() *Sessioned {
+		s := NewSessioned(NewCounterMachine())
+		s.SetSessionLimit(3)
+		for i := 0; i < 40; i++ {
+			c := types.NodeID(fmt.Sprintf("c%d", i%7))
+			s.ApplyCommand(appCmd(c, uint64(i/7+1), EncodeAdd(1)))
+		}
+		return s
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a.Snapshot(), b.Snapshot()) {
+		t.Fatal("replicas with identical histories snapshot differently")
+	}
+}
+
+// A snapshot taken under a bound restores the recency order, so a joiner
+// evicts the same victim the source would.
+func TestSessionLimitSurvivesSnapshotRestore(t *testing.T) {
+	src := NewSessioned(NewCounterMachine())
+	src.SetSessionLimit(2)
+	src.ApplyCommand(appCmd("a", 1, EncodeAdd(1)))
+	src.ApplyCommand(appCmd("b", 1, EncodeAdd(1)))
+	src.ApplyCommand(appCmd("a", 2, EncodeAdd(1))) // order now: b, a
+
+	dst := NewSessioned(NewCounterMachine())
+	dst.SetSessionLimit(2)
+	if err := dst.Restore(src.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	// Same next command on both sides must evict the same session (b).
+	src.ApplyCommand(appCmd("c", 1, EncodeAdd(1)))
+	dst.ApplyCommand(appCmd("c", 1, EncodeAdd(1)))
+	if !bytes.Equal(src.Snapshot(), dst.Snapshot()) {
+		t.Fatal("restored replica diverged on next eviction")
+	}
+	if dst.LastSeq("b") != 0 || dst.LastSeq("a") != 2 {
+		t.Fatalf("wrong victim after restore: b=%d a=%d", dst.LastSeq("b"), dst.LastSeq("a"))
+	}
+}
+
+// The chunked path (chunk 0 = session table) must carry the same order.
+func TestSessionLimitSurvivesChunkedRestore(t *testing.T) {
+	src := NewSessioned(NewCounterMachine())
+	src.SetSessionLimit(2)
+	src.ApplyCommand(appCmd("a", 1, EncodeAdd(1)))
+	src.ApplyCommand(appCmd("b", 1, EncodeAdd(1)))
+	src.ApplyCommand(appCmd("a", 2, EncodeAdd(1)))
+
+	fork := src.ForkSnapshot()
+	dst := NewSessioned(NewCounterMachine())
+	dst.SetSessionLimit(2)
+	for i := 0; i < fork.NumChunks(); i++ {
+		if err := dst.RestoreChunk(i, fork.Chunk(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := dst.FinishRestore(fork.NumChunks()); err != nil {
+		t.Fatal(err)
+	}
+	src.ApplyCommand(appCmd("c", 1, EncodeAdd(1)))
+	dst.ApplyCommand(appCmd("c", 1, EncodeAdd(1)))
+	if dst.LastSeq("b") != 0 || dst.LastSeq("a") != 2 || dst.LastSeq("c") != 1 {
+		t.Fatalf("chunked restore lost recency order: b=%d a=%d c=%d",
+			dst.LastSeq("b"), dst.LastSeq("a"), dst.LastSeq("c"))
+	}
+}
+
+// ApplyBatch (serial and parallel) must enforce the same eviction and
+// refusal rules as ApplyCommand, in decided order.
+func TestSessionLimitApplyBatchMatchesSerial(t *testing.T) {
+	build := func() []types.Command {
+		var cmds []types.Command
+		for i := 0; i < 64; i++ {
+			c := types.NodeID(fmt.Sprintf("c%d", i%9))
+			cmds = append(cmds, appCmd(c, uint64(i/9+1), EncodePut(fmt.Sprintf("k%d", i%9), []byte{byte(i)})))
+		}
+		// An evicted client's high-seq retry rides in the middle.
+		cmds = append(cmds, appCmd("ghost", 5, EncodePut("g", []byte("x"))))
+		return cmds
+	}
+	serial := NewSessioned(NewKVStore())
+	serial.SetSessionLimit(4)
+	parallel := NewSessioned(NewKVStore())
+	parallel.SetSessionLimit(4)
+
+	cmds := build()
+	sr, sd := serial.ApplyBatch(cmds, false)
+	pr, pd := parallel.ApplyBatch(cmds, true)
+	for i := range cmds {
+		if sd[i] != pd[i] || !bytes.Equal(sr[i], pr[i]) {
+			t.Fatalf("cmd %d diverged: serial dup=%v rep=%q, parallel dup=%v rep=%q",
+				i, sd[i], sr[i], pd[i], pr[i])
+		}
+	}
+	if !bytes.Equal(serial.Snapshot(), parallel.Snapshot()) {
+		t.Fatal("serial and parallel batch apply diverged")
+	}
+	if serial.LastSeq("ghost") != 0 {
+		t.Fatal("unknown high-seq client executed under a bound")
+	}
+}
+
+// Pin the per-session costs at 100k sessions: table build, dedup lookup, and
+// bytes per session. The dedup fast path must stay O(1) regardless of table
+// size for the megaload harness to be honest.
+func BenchmarkSessionTable100k(b *testing.B) {
+	const n = 100_000
+	s := NewSessioned(NewCounterMachine())
+	for i := 0; i < n; i++ {
+		s.ApplyCommand(appCmd(types.NodeID(fmt.Sprintf("sess-%06d", i)), 1, EncodeAdd(1)))
+	}
+	if s.Sessions() != n {
+		b.Fatalf("sessions = %d", s.Sessions())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := types.NodeID(fmt.Sprintf("sess-%06d", i%n))
+		if _, dup := s.ApplyCommand(appCmd(c, 1, EncodeAdd(1))); !dup {
+			b.Fatal("lookup missed")
+		}
+	}
+}
+
+func BenchmarkSessionTable100kBounded(b *testing.B) {
+	const n = 100_000
+	s := NewSessioned(NewCounterMachine())
+	s.SetSessionLimit(n / 2) // constant churn: every insert evicts
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := types.NodeID(fmt.Sprintf("sess-%06d", i))
+		s.ApplyCommand(appCmd(c, 1, EncodeAdd(1)))
+	}
+}

@@ -63,14 +63,14 @@ func (s *Sessioned) ApplyBatch(cmds []types.Command, parallel bool) (replies [][
 	}
 
 	// Serial pre-pass: decide, in decided order, which commands a serial
-	// execution would apply. eff tracks the session seq a serial run would
-	// have at this position; idx >= 0 means the reply will come from an
-	// in-batch command still to be executed.
-	type effSession struct {
-		seq uint64
-		idx int
-	}
-	eff := make(map[types.NodeID]effSession)
+	// execution would apply, and advance the session table (seq, recency,
+	// eviction) exactly as that serial execution would — command by
+	// command, so the LRU's mid-batch evictions and refusals cannot depend
+	// on where batch boundaries fall (replicas batch independently).
+	// Replies land in the post-pass; until then a rewritten session
+	// carries its previous lastReply, which nothing reads (an in-batch dup
+	// links through dupOf instead).
+	eff := make(map[types.NodeID]int) // client -> last in-batch writer index
 	exec := make([]int, 0, len(cmds))
 	shards := make([]int, len(cmds))
 	barrier := make([]bool, len(cmds))
@@ -80,28 +80,28 @@ func (s *Sessioned) ApplyBatch(cmds []types.Command, parallel bool) (replies [][
 			continue
 		}
 		if cmd.Client != "" {
-			e, known := eff[cmd.Client]
-			if !known {
-				// A client with no session applies regardless of seq,
-				// mirroring ApplyCommand's missing-session behavior.
-				if sess, exists := s.sessions[cmd.Client]; exists {
-					e = effSession{seq: sess.lastSeq, idx: -1}
-					eff[cmd.Client] = e
-					known = true
-				}
-			}
-			if known && cmd.Seq <= e.seq {
+			sess, exists := s.sessions[cmd.Client]
+			if exists && cmd.Seq <= sess.lastSeq {
 				dups[i] = true
-				if cmd.Seq == e.seq {
-					if e.idx >= 0 {
-						dupOf[i] = e.idx
+				if cmd.Seq == sess.lastSeq {
+					if j, ok := eff[cmd.Client]; ok {
+						dupOf[i] = j
 					} else {
-						replies[i] = s.sessions[cmd.Client].lastReply
+						replies[i] = sess.lastReply
 					}
 				}
 				continue // stale retry: nil reply, like ApplyCommand
 			}
-			eff[cmd.Client] = effSession{seq: cmd.Seq, idx: i}
+			if !exists && s.limit > 0 && cmd.Seq > 1 {
+				// Evicted session under the LRU bound: refuse rather
+				// than risk re-execution (ApplyCommand's rule).
+				dups[i] = true
+				continue
+			}
+			s.sessions[cmd.Client] = sessionState{lastSeq: cmd.Seq, lastReply: sess.lastReply}
+			s.noteWrite(cmd.Client)
+			s.enforceLimit()
+			eff[cmd.Client] = i
 		}
 		shards[i], barrier[i] = opShardChecked(sharder, cmds[i].Data)
 		barrier[i] = !barrier[i]
@@ -122,11 +122,17 @@ func (s *Sessioned) ApplyBatch(cmds []types.Command, parallel bool) (replies [][
 	}
 	s.runShardGroup(cmds, replies, shards, group)
 
-	// Serial post-pass: session updates in decided order, then duplicate
-	// replies linked to the command that produced them.
+	// Serial post-pass: fill in each surviving session's reply (the
+	// pre-pass already advanced seq/recency and ran evictions), then link
+	// duplicate replies to the command that produced them.
 	for _, i := range exec {
-		if cmds[i].Client != "" {
-			s.sessions[cmds[i].Client] = sessionState{lastSeq: cmds[i].Seq, lastReply: replies[i]}
+		c := cmds[i].Client
+		if c == "" || eff[c] != i {
+			continue // not this client's final in-batch write
+		}
+		if sess, ok := s.sessions[c]; ok && sess.lastSeq == cmds[i].Seq {
+			sess.lastReply = replies[i]
+			s.sessions[c] = sess
 		}
 	}
 	for i, j := range dupOf {
