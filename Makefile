@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race bench bench-read bench-snapshot bench-write bench-shard bench-reconfig bench-mega vet fmt-check ci
+.PHONY: all build test race bench bench-read bench-snapshot bench-write bench-shard bench-reconfig bench-catchup bench-mega vet fmt-check ci
 
 all: build test
 
@@ -52,6 +52,13 @@ bench-shard:
 # commit gap. The canonical table lives in `rsmbench -exp reconfig`.
 bench-reconfig:
 	$(GO) test -run '^$$' -bench R2ReconfigShootout -benchtime 1x .
+
+# Catch-up smoke: one pass of the K1 shootout — a member lagging 50k decided
+# slots at 8MB state heals and catches up by checkpoint fetch vs the
+# NoCheckpoints full-replay ablation, plus restart-recovery time and the
+# retained-log bound. The canonical table lives in `rsmbench -exp catchup`.
+bench-catchup:
+	$(GO) test -run '^$$' -bench K1Catchup -benchtime 1x .
 
 # Megaload smoke: one pass of the C1 benchmark — 100k open-loop client
 # sessions through a reconfiguration storm, smart client + admission control

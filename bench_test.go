@@ -176,6 +176,34 @@ func BenchmarkR2ReconfigShootout(b *testing.B) {
 	}
 }
 
+// BenchmarkK1Catchup — Table K1 smoke behind `make bench-catchup`: a member
+// lags 50k decided slots at 8MB state, then the link heals. Headline metrics
+// are time-to-caught-up for the checkpoint-fetch arm vs the NoCheckpoints
+// full-replay ablation, restart-recovery time, and the worst node's retained
+// decided slots (bounded by the checkpoint interval vs the whole log).
+func BenchmarkK1Catchup(b *testing.B) {
+	const (
+		stateBytes = 8 << 20
+		lagSlots   = 50000
+	)
+	for i := 0; i < b.N; i++ {
+		res, err := harness.RunK1Catchup(tuning(), stateBytes, lagSlots, 32)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Log("\n" + res.Render())
+		for _, row := range res.Rows {
+			tag := "ckpt"
+			if !row.Checkpoints {
+				tag = "replay"
+			}
+			b.ReportMetric(row.CatchupTook.Seconds()*1000, "catchup-ms/"+tag)
+			b.ReportMetric(row.RestartTook.Seconds()*1000, "restart-ms/"+tag)
+			b.ReportMetric(float64(row.Retained), "retained-slots/"+tag)
+		}
+	}
+}
+
 // BenchmarkT3Failover — Table T3: crash-to-restored-service time.
 func BenchmarkT3Failover(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -9,9 +9,10 @@
 //	rsmbench -exp read          # read fast path: mode x read-ratio sweep
 //	rsmbench -exp write         # write path: pipeline depth x apply mode sweep
 //	rsmbench -exp reconfig      # R2 reconfig-latency shootout (speculative start)
+//	rsmbench -exp catchup       # K1 lagging-replica catch-up (checkpoints vs replay)
 //	rsmbench -exp mega          # C1 100k-session open-loop megaload (smart vs naive)
 //
-// Experiment IDs: t1 t1d f1 t2 f2 t3 f3 t4 f4 t5 f5 lin read write shard reconfig mega megalin (see DESIGN.md §4).
+// Experiment IDs: t1 t1d f1 t2 f2 t3 f3 t4 f4 t5 f5 lin read write shard reconfig catchup mega megalin (see DESIGN.md §4).
 package main
 
 import (
@@ -32,7 +33,7 @@ func main() {
 
 func run() int {
 	var (
-		exp     = flag.String("exp", "all", "experiment ID (t1,t1d,f1,t2,f2,t3,f3,t4,f4,t5,f5,lin,read,write,shard,reconfig,mega,megalin or all)")
+		exp     = flag.String("exp", "all", "experiment ID (t1,t1d,f1,t2,f2,t3,f3,t4,f4,t5,f5,lin,read,write,shard,reconfig,catchup,mega,megalin or all)")
 		dur     = flag.Duration("dur", 2*time.Second, "load duration per run")
 		clients = flag.Int("clients", 4, "closed-loop client count")
 		seed    = flag.Int64("seed", 1, "nemesis schedule seed (lin experiment)")
@@ -252,6 +253,22 @@ func runOne(id string, tun harness.Tuning, dur time.Duration, clients int, seed 
 		// gates the successor and time-to-first-decide separates the
 		// designs.
 		res, err := harness.RunR2ReconfigShootout(tun, 8<<20, dur, clients)
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
+	case "catchup":
+		// K1: a member lags 50k decided slots behind at 8MB of state, then
+		// the link heals. The checkpoint arm fetches the survivors' newest
+		// mid-log checkpoint (the truncated log cannot be replayed); the
+		// NoCheckpoints ablation replays every missed slot. More clients
+		// than the default so driving the 50k-slot lag doesn't dominate
+		// wall-clock time.
+		cc := clients
+		if cc < 32 {
+			cc = 32
+		}
+		res, err := harness.RunK1Catchup(tun, 8<<20, 50000, cc)
 		if err != nil {
 			return err
 		}

@@ -73,6 +73,12 @@ type GroupStats struct {
 	InvariantViolations int64 // summed over replicas
 	ShedSubmits         int64 // summed over replicas (admission control)
 	SubmitQueueHigh     int64 // max over replicas (proposal queue high-water)
+
+	CheckpointsPublished int64 // summed over replicas
+	CatchupFetches       int64 // summed over replicas
+	TruncatedSlots       int64 // summed over replicas (log slots released)
+	RetainedSlots        int64 // max over replicas (decided slots still held)
+	DecisionBufferHigh   int64 // max over replicas (parked-decision high-water)
 }
 
 // NewGroupManager creates an empty manager (no processes, no groups).
@@ -562,6 +568,15 @@ func (m *GroupManager) GroupStats(gid types.GroupID) GroupStats {
 		}
 		if st.SubmitQueueHigh > out.SubmitQueueHigh {
 			out.SubmitQueueHigh = st.SubmitQueueHigh
+		}
+		out.CheckpointsPublished += st.CheckpointsPublished
+		out.CatchupFetches += st.CatchupFetches
+		out.TruncatedSlots += st.TruncatedSlots
+		if st.RetainedSlots > out.RetainedSlots {
+			out.RetainedSlots = st.RetainedSlots
+		}
+		if st.DecisionBufferHigh > out.DecisionBufferHigh {
+			out.DecisionBufferHigh = st.DecisionBufferHigh
 		}
 	}
 	return out

@@ -106,6 +106,19 @@ type Tuning struct {
 	// LRU of this many sessions (0 = unbounded).
 	SessionLimit int
 
+	// CheckpointInterval overrides the composed system's
+	// within-configuration checkpoint interval in slots (0 = reconfig
+	// default).
+	CheckpointInterval int
+	// CatchupGapSlots overrides the decision gap beyond which a composed
+	// node fetches a checkpoint instead of replaying the log (0 = reconfig
+	// default).
+	CatchupGapSlots int
+	// NoCheckpoints disables the composed system's within-configuration
+	// checkpoints, log truncation and checkpoint catch-up — the K1
+	// ablation: a lagging member replays the full log slot by slot.
+	NoCheckpoints bool
+
 	// Reads selects the composed system's read-serving mode (log, read-index
 	// or leases); 0 keeps the reconfig default (read-index).
 	Reads reconfig.ReadMode
@@ -297,6 +310,9 @@ func newComposed(t Tuning, factory statemachine.Factory, initial, spares []types
 		SubmitQueue:        t.SubmitQueue,
 		NoAdmission:        t.NoAdmission,
 		SessionLimit:       t.SessionLimit,
+		CheckpointInterval: t.CheckpointInterval,
+		CatchupGapSlots:    t.CatchupGapSlots,
+		NoCheckpoints:      t.NoCheckpoints,
 	}
 	boot := func(id types.NodeID, member bool) error {
 		st, err := d.stores.open(id)

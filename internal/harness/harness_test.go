@@ -331,3 +331,43 @@ func TestRunLinSmoke(t *testing.T) {
 		}
 	}
 }
+
+// TestRunK1CatchupSmoke runs both arms of the catch-up shootout at a small
+// lag and checks the mechanisms actually engaged: the checkpoint arm must
+// have fetched a checkpoint and truncated log slots, the ablation must have
+// replayed (no fetches) with the full log retained.
+func TestRunK1CatchupSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke test")
+	}
+	tun := shortTuning()
+	tun.CheckpointInterval = 300
+	tun.CatchupGapSlots = 600
+	res, err := RunK1Catchup(tun, 64<<10, 2000, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("want 2 arms, got %+v", res.Rows)
+	}
+	ckpt, abl := res.Rows[0], res.Rows[1]
+	if !ckpt.Checkpoints || abl.Checkpoints {
+		t.Fatalf("arm order: %+v", res.Rows)
+	}
+	if ckpt.Published == 0 || ckpt.Fetches == 0 || ckpt.Truncated == 0 {
+		t.Fatalf("checkpoint arm never engaged: %+v", ckpt)
+	}
+	if ckpt.Retained >= abl.Retained {
+		t.Fatalf("truncation did not bound the log: checkpoint retained %d >= ablation %d",
+			ckpt.Retained, abl.Retained)
+	}
+	if abl.Fetches != 0 || abl.Published != 0 || abl.Truncated != 0 {
+		t.Fatalf("ablation arm used checkpoints: %+v", abl)
+	}
+	out := res.Render()
+	for _, want := range []string{"K1:", "checkpoints", "no-checkpoints"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -239,6 +239,30 @@ func (r R2Result) Render() string {
 		renderTable([]string{"variant", "scenario", "ttfd", "reconfig", "max-gap", "dip", "dip-dur", "retries", "spec-dec", "ops/s"}, rows)
 }
 
+// Render formats the K1 catch-up shootout.
+func (r K1Result) Render() string {
+	rows := make([][]string, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		variant := "checkpoints"
+		if !row.Checkpoints {
+			variant = "no-checkpoints"
+		}
+		rows = append(rows, []string{
+			variant,
+			fmt.Sprintf("%d", row.LagSlots),
+			fmtDur(row.CatchupTook),
+			fmtDur(row.RestartTook),
+			fmt.Sprintf("%d", row.Published),
+			fmt.Sprintf("%d", row.Fetches),
+			fmt.Sprintf("%d", row.Truncated),
+			fmt.Sprintf("%d", row.Retained),
+		})
+	}
+	return fmt.Sprintf("K1: lagging-replica catch-up at %dB state, %d-slot lag (checkpoint fetch vs full replay)\n",
+		r.StateBytes, r.LagTarget) +
+		renderTable([]string{"variant", "lag", "catchup", "restart", "ckpts", "fetches", "trunc-slots", "retained"}, rows)
+}
+
 // Render formats the T3 failover measurement.
 func (r T3Result) Render() string {
 	return fmt.Sprintf(

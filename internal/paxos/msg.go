@@ -80,6 +80,13 @@ type promiseMsg struct {
 	Promised types.Ballot // on reject: the ballot we are bound to
 	Accepted []acceptedEntry
 	Decided  types.Slot // highest contiguously decided slot at this node
+	// TruncatedBelow is this acceptor's log-truncation floor: slots <= it
+	// were released after a quorum-acknowledged checkpoint, so the acceptor
+	// can report no accepted entries for them even though they are chosen.
+	// A new leader must never noop-fill an unreported slot at or below any
+	// promiser's floor (see becomeLeader). Appended field; absent in legacy
+	// frames, decoding as 0 (nothing truncated).
+	TruncatedBelow types.Slot
 }
 
 // acceptMsg proposes Cmd at Slot under Ballot.
@@ -143,9 +150,18 @@ type catchupReqMsg struct {
 	To   types.Slot
 }
 
-// catchupRespMsg carries decided entries.
+// catchupRespMsg carries decided entries. The appended Frontier and
+// TruncatedBelow fields (absent in legacy frames, decoding as 0) make one
+// response an O(1) progress probe: Frontier is the responder's contiguously
+// decided prefix — the requester raises maxDecidedSeen from it instead of
+// probing slot by slot — and a nonzero TruncatedBelow at or above the
+// requested From is a redirect: the responder has released those slots after
+// a checkpoint, so the requester must install a checkpoint rather than
+// replay the log.
 type catchupRespMsg struct {
-	Entries []decideMsg
+	Entries        []decideMsg
+	Frontier       types.Slot
+	TruncatedBelow types.Slot
 }
 
 // forwardMsg relays queued proposals to the leader. A follower packs its
@@ -184,6 +200,7 @@ func encodePromise(m promiseMsg) []byte {
 		e.Cmd.Encode(w)
 	}
 	w.Uvarint(uint64(m.Decided))
+	w.Uvarint(uint64(m.TruncatedBelow))
 	return w.Bytes()
 }
 
@@ -203,6 +220,10 @@ func decodePromise(buf []byte) (promiseMsg, error) {
 		})
 	}
 	m.Decided = types.Slot(r.Uvarint())
+	if r.Err() == nil && r.Remaining() > 0 {
+		// Legacy frames end after Decided; TruncatedBelow is appended.
+		m.TruncatedBelow = types.Slot(r.Uvarint())
+	}
 	return m, wrapDecode("promise", r)
 }
 
@@ -337,7 +358,7 @@ func decodeCatchupReq(buf []byte) (catchupReqMsg, error) {
 }
 
 func encodeCatchupResp(m catchupRespMsg) []byte {
-	sz := 8
+	sz := 24
 	for _, e := range m.Entries {
 		sz += 8 + e.Cmd.EncodedSize()
 	}
@@ -347,6 +368,8 @@ func encodeCatchupResp(m catchupRespMsg) []byte {
 		w.Uvarint(uint64(e.Slot))
 		e.Cmd.Encode(w)
 	}
+	w.Uvarint(uint64(m.Frontier))
+	w.Uvarint(uint64(m.TruncatedBelow))
 	return w.Bytes()
 }
 
@@ -362,6 +385,12 @@ func decodeCatchupResp(buf []byte) (catchupRespMsg, error) {
 			Slot: types.Slot(r.Uvarint()),
 			Cmd:  types.DecodeCommandFrom(r),
 		})
+	}
+	if r.Err() == nil && r.Remaining() > 0 {
+		// Legacy frames end after the entries; Frontier and TruncatedBelow
+		// are appended fields.
+		m.Frontier = types.Slot(r.Uvarint())
+		m.TruncatedBelow = types.Slot(r.Uvarint())
 	}
 	return m, wrapDecode("catchup-resp", r)
 }

@@ -141,7 +141,13 @@ func TestDecodersRejectTruncation(t *testing.T) {
 		Accepted: []acceptedEntry{{Slot: 1, Ballot: types.Ballot{Round: 1, Leader: "n1"}, Cmd: types.NoopCommand()}},
 		Decided:  0,
 	})
-	for i := 0; i < len(full); i++ {
+	// The final byte is the appended TruncatedBelow field: a frame cut
+	// exactly there is a valid legacy promise and must decode (optional-tail
+	// compatibility); every shorter cut must be rejected.
+	if m, err := decodePromise(full[:len(full)-1]); err != nil || m.TruncatedBelow != 0 {
+		t.Fatalf("legacy promise boundary: %+v %v", m, err)
+	}
+	for i := 0; i < len(full)-1; i++ {
 		if _, err := decodePromise(full[:i]); err == nil {
 			t.Fatalf("promise truncated at %d accepted", i)
 		}

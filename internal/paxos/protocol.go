@@ -82,6 +82,19 @@ func (r *Replica) handleMessage(m inboundMsg) {
 			for _, e := range msg.Entries {
 				r.learn(e.Slot, e.Cmd)
 			}
+			// Appended progress fields: the responder's contiguous frontier
+			// is a decided watermark, and a truncation floor at or above our
+			// delivery cursor means the missing prefix is gone from the log —
+			// only a checkpoint install (reconfig layer) can fill it.
+			if msg.Frontier > r.maxDecidedSeen {
+				r.maxDecidedSeen = msg.Frontier
+			}
+			if msg.TruncatedBelow >= r.deliverNext {
+				if msg.TruncatedBelow > r.maxDecidedSeen {
+					r.maxDecidedSeen = msg.TruncatedBelow
+				}
+				r.ckptNeeded.Store(true)
+			}
 		}
 	case KindForward:
 		msg, err := decodeForward(m.payload)
@@ -145,13 +158,15 @@ func (r *Replica) setDurable(key string, value []byte) error {
 // promise to send back. Persisting happens before the reply leaves.
 func (r *Replica) acceptPrepare(msg prepareMsg) promiseMsg {
 	if msg.Ballot.Less(r.promised) {
-		return promiseMsg{Ballot: msg.Ballot, OK: false, Promised: r.promised, Decided: r.deliverNext - 1}
+		return promiseMsg{Ballot: msg.Ballot, OK: false, Promised: r.promised,
+			Decided: r.deliverNext - 1, TruncatedBelow: r.truncatedBelow}
 	}
 	if r.promised.Less(msg.Ballot) {
 		r.promised = msg.Ballot
 		r.persistPromised()
 	}
-	out := promiseMsg{Ballot: msg.Ballot, OK: true, Promised: r.promised, Decided: r.deliverNext - 1}
+	out := promiseMsg{Ballot: msg.Ballot, OK: true, Promised: r.promised,
+		Decided: r.deliverNext - 1, TruncatedBelow: r.truncatedBelow}
 	for slot, e := range r.accepted {
 		if slot >= msg.From {
 			out.Accepted = append(out.Accepted, e)
@@ -205,6 +220,19 @@ func (r *Replica) onAccept(from types.NodeID, msg acceptMsg) {
 	// Fast path for already-decided slots: tell the proposer directly.
 	if cmd, ok := r.decided[msg.Slot]; ok {
 		r.send(from, KindDecide, encodeDecide(decideMsg{Slot: msg.Slot, Cmd: cmd}))
+		return
+	}
+	// Truncated slots were chosen, quorum-acknowledged by a checkpoint, and
+	// released — the command bytes are gone, so neither the decided fast
+	// path nor a fresh vote is possible. Voting would be outright unsafe: a
+	// leader that missed the checkpoint could noop-fill a released slot and
+	// this vote would help decide a second, different value for it. Answer
+	// with a checkpoint redirect instead (never a silent miss).
+	if msg.Slot <= r.truncatedBelow {
+		r.send(from, KindCatchupResp, encodeCatchupResp(catchupRespMsg{
+			Frontier:       r.deliverNext - 1,
+			TruncatedBelow: r.truncatedBelow,
+		}))
 		return
 	}
 	am := r.acceptAccept(msg)
@@ -290,6 +318,28 @@ func (r *Replica) becomeLeader() {
 	if r.nextSlot < from {
 		r.nextSlot = from
 	}
+	// Truncation floors reported by the promise quorum. Every slot at or
+	// below a promiser's floor is globally chosen (floors rise only after a
+	// quorum-acknowledged checkpoint), but its value may be unrecoverable
+	// from this quorum: the promiser that accepted it has released the
+	// bytes, and any accepted entry another promiser reports for it may be
+	// a stale lower-ballot value that lost. Re-proposing anything at such a
+	// slot — a noop or a reported value — risks deciding a second value, so
+	// those slots are skipped entirely; the checkpoint covers them.
+	maxFloor := r.truncatedBelow
+	for _, pm := range r.promises {
+		if pm.TruncatedBelow > maxFloor {
+			maxFloor = pm.TruncatedBelow
+		}
+	}
+	if maxFloor > r.maxDecidedSeen {
+		r.maxDecidedSeen = maxFloor
+	}
+	if r.deliverNext <= maxFloor {
+		// Our own delivery cursor is inside the released range: no log
+		// replay can fill it, only a checkpoint install.
+		r.ckptNeeded.Store(true)
+	}
 	// Read fast-path bookkeeping: every command chosen before this election
 	// is below nextSlot now (promise-quorum intersection), so nextSlot-1 is
 	// a floor for all read indexes this term. No lease or probe round from
@@ -303,6 +353,9 @@ func (r *Replica) becomeLeader() {
 			// Already chosen: re-announce for the benefit of laggards.
 			r.broadcast(KindDecide, encodeDecide(decideMsg{Slot: slot, Cmd: cmd}))
 			continue
+		}
+		if slot <= maxFloor {
+			continue // released after a checkpoint; never re-propose
 		}
 		if e, ok := best[slot]; ok {
 			r.proposeAtSlot(slot, e.Cmd)
@@ -389,6 +442,11 @@ func (r *Replica) stepDown() {
 // --- learner role ------------------------------------------------------------
 
 func (r *Replica) learn(slot types.Slot, cmd types.Command) {
+	if slot <= r.truncatedBelow {
+		// Already covered by an installed checkpoint and released; learning
+		// it again would resurrect a record below the truncation floor.
+		return
+	}
 	if sp, ok := r.inflight[slot]; ok {
 		// The slot was chosen out of band — an old leader's decide
 		// broadcast, a catch-up response, or an acceptor's already-decided
@@ -413,6 +471,7 @@ func (r *Replica) learn(slot types.Slot, cmd types.Command) {
 	}
 	r.decided[slot] = cmd
 	r.persistDecided(slot, cmd)
+	r.stats.retained.Store(int64(len(r.decided)))
 	if slot > r.maxDecidedSeen {
 		r.maxDecidedSeen = slot
 	}
@@ -435,17 +494,27 @@ func (r *Replica) deliverReady() {
 }
 
 func (r *Replica) onCatchupReq(from types.NodeID, msg catchupReqMsg) {
+	// A request that starts at or below our truncation floor cannot be
+	// served from the log — those slots were released after a checkpoint.
+	// Serve what we still have above the floor and let the appended
+	// TruncatedBelow field redirect the requester to the checkpoint.
+	start := msg.From
+	redirect := false
+	if start <= r.truncatedBelow {
+		redirect = true
+		start = r.truncatedBelow + 1
+	}
 	to := msg.To
-	if limit := msg.From + types.Slot(r.opts.CatchupBatch) - 1; to > limit {
+	if limit := start + types.Slot(r.opts.CatchupBatch) - 1; to > limit {
 		to = limit
 	}
-	var resp catchupRespMsg
-	for slot := msg.From; slot <= to; slot++ {
+	resp := catchupRespMsg{Frontier: r.deliverNext - 1, TruncatedBelow: r.truncatedBelow}
+	for slot := start; slot <= to; slot++ {
 		if cmd, ok := r.decided[slot]; ok {
 			resp.Entries = append(resp.Entries, decideMsg{Slot: slot, Cmd: cmd})
 		}
 	}
-	if len(resp.Entries) > 0 {
+	if len(resp.Entries) > 0 || redirect {
 		r.send(from, KindCatchupResp, encodeCatchupResp(resp))
 	}
 }

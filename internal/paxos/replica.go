@@ -160,6 +160,13 @@ type Stats struct {
 	// ReadRounds counts completed read-index confirmation rounds; comparing
 	// it against served reads shows the probe batching factor.
 	ReadRounds int64
+	// TruncatedSlots counts log slots released by TruncateBelow over the
+	// replica's lifetime.
+	TruncatedSlots int64
+	// RetainedSlots is a gauge: decided log entries currently held in
+	// memory (and on disk). With checkpoints on it stays bounded by the
+	// checkpoint interval plus the truncation margin.
+	RetainedSlots int64
 	// LeaseReads counts reads answered locally under a valid leader lease.
 	LeaseReads int64
 	// GroupCommits counts event-loop bursts that ended in a group-commit
@@ -182,6 +189,7 @@ type Replica struct {
 	inMsg     chan inboundMsg
 	proposeCh chan types.Command
 	readCh    chan readRequest
+	ctrlCh    chan func()
 	stopCh    chan struct{}
 	stopOnce  sync.Once
 	loopDone  chan struct{}
@@ -202,8 +210,17 @@ type Replica struct {
 	stats struct {
 		decided, proposals, elections, stepDowns, catchups, violations atomic.Int64
 		droppedInbound, readRounds, leaseReads, groupSyncs             atomic.Int64
+		truncated, retained                                            atomic.Int64
 	}
 	lastDropWarn atomic.Int64 // unix nanos of the last overflow warning
+
+	// Progress mirrors: atomic copies of the loop-owned frontier state so
+	// the composition layer's housekeeping can probe "how far behind am I"
+	// in O(1) without a message round or a channel hop (see Progress).
+	progDelivered atomic.Int64
+	progMaxSeen   atomic.Int64
+	progTrunc     atomic.Int64
+	ckptNeeded    atomic.Bool
 
 	// --- state below is owned exclusively by the event loop goroutine ---
 	rng      *rand.Rand
@@ -213,6 +230,7 @@ type Replica struct {
 
 	deliverNext    types.Slot // next slot to hand to the application
 	maxDecidedSeen types.Slot // highest slot known decided anywhere
+	truncatedBelow types.Slot // slots <= this are released (checkpointed)
 
 	role          role
 	ballot        types.Ballot // owned ballot while candidate/leader
@@ -279,6 +297,7 @@ func New(cfg types.Config, self types.NodeID, ep *transport.Endpoint, store stor
 		inMsg:     make(chan inboundMsg, 8192),
 		proposeCh: make(chan types.Command, 1024),
 		readCh:    make(chan readRequest, 4096),
+		ctrlCh:    make(chan func(), 16),
 		stopCh:    make(chan struct{}),
 		loopDone:  make(chan struct{}),
 		pumpDone:  make(chan struct{}),
@@ -329,6 +348,22 @@ func (r *Replica) recover() error {
 		}
 		r.maxBallotSeen = r.promised
 	}
+	if raw, ok, err := r.store.Get(r.prefix + "trunc"); err != nil {
+		return err
+	} else if ok {
+		rd := types.NewReader(raw)
+		r.truncatedBelow = types.Slot(rd.Uvarint())
+		if err := rd.Err(); err != nil {
+			return fmt.Errorf("truncation record: %w", err)
+		}
+		// Slots <= the floor were released after a durable checkpoint: the
+		// application recovers them from the checkpoint, not the log. Any
+		// acc/dec records below the floor that the deletes had not reached
+		// before the crash are skipped during the scans below.
+		r.deliverNext = r.truncatedBelow + 1
+		r.nextSlot = r.truncatedBelow + 1
+		r.maxDecidedSeen = r.truncatedBelow
+	}
 	accs, err := r.store.Scan(r.prefix + "acc/")
 	if err != nil {
 		return err
@@ -343,6 +378,9 @@ func (r *Replica) recover() error {
 		if err := rd.Err(); err != nil {
 			return fmt.Errorf("accepted record %s: %w", kv.Key, err)
 		}
+		if e.Slot <= r.truncatedBelow {
+			continue
+		}
 		r.accepted[e.Slot] = e
 	}
 	decs, err := r.store.Scan(r.prefix + "dec/")
@@ -354,6 +392,9 @@ func (r *Replica) recover() error {
 		d := decideMsg{Slot: types.Slot(rd.Uvarint()), Cmd: types.DecodeCommandFrom(rd)}
 		if err := rd.Err(); err != nil {
 			return fmt.Errorf("decided record %s: %w", kv.Key, err)
+		}
+		if d.Slot <= r.truncatedBelow {
+			continue
 		}
 		r.decided[d.Slot] = d.Cmd
 		if d.Slot > r.maxDecidedSeen {
@@ -373,6 +414,8 @@ func (r *Replica) recover() error {
 			r.nextSlot = slot + 1
 		}
 	}
+	r.stats.retained.Store(int64(len(r.decided)))
+	r.publishProgress()
 	return nil
 }
 
@@ -452,6 +495,8 @@ func (r *Replica) Stats() Stats {
 		ReadRounds:          r.stats.readRounds.Load(),
 		LeaseReads:          r.stats.leaseReads.Load(),
 		GroupCommits:        r.stats.groupSyncs.Load(),
+		TruncatedSlots:      r.stats.truncated.Load(),
+		RetainedSlots:       r.stats.retained.Load(),
 	}
 }
 
@@ -564,11 +609,17 @@ func (r *Replica) loop() {
 			r.handleRead(req)
 			r.drainBurst(burstBudget - 1)
 			r.endBurst()
+		case fn := <-r.ctrlCh:
+			r.beginBurst()
+			fn()
+			r.drainBurst(burstBudget - 1)
+			r.endBurst()
 		case <-ticker.C:
 			r.beginBurst()
 			r.tick()
 			r.endBurst()
 		}
+		r.publishProgress()
 	}
 }
 
@@ -650,4 +701,165 @@ func (r *Replica) endBurst() {
 func (r *Replica) resetElectionDeadline() {
 	r.electionDeadline = r.opts.ElectionTimeoutTicks + r.rng.Intn(r.opts.ElectionJitterTicks+1)
 	r.ticksSinceHB = 0
+}
+
+// --- log truncation & progress ---------------------------------------------
+
+// Progress is an O(1), lock-free snapshot of the engine's log frontier. The
+// composition layer's housekeeping reads it to decide in one probe whether
+// this member is lagging far enough to fetch a checkpoint instead of walking
+// the gap slot by slot.
+type Progress struct {
+	// Delivered is the highest contiguously decided slot handed to the
+	// application.
+	Delivered types.Slot
+	// MaxDecidedSeen is the highest slot known to be decided anywhere
+	// (from heartbeats, promises and catch-up responses), so
+	// MaxDecidedSeen - Delivered is the decision gap.
+	MaxDecidedSeen types.Slot
+	// TruncatedBelow is the local truncation floor: slots <= it have been
+	// released and cannot be served or re-voted.
+	TruncatedBelow types.Slot
+	// CheckpointNeeded reports that a peer redirected a catch-up request
+	// below its truncation floor: the missing prefix no longer exists in
+	// any reachable log and only a checkpoint install can fill it.
+	CheckpointNeeded bool
+}
+
+// Progress returns the current frontier snapshot. Safe from any goroutine.
+func (r *Replica) Progress() Progress {
+	return Progress{
+		Delivered:        types.Slot(r.progDelivered.Load()),
+		MaxDecidedSeen:   types.Slot(r.progMaxSeen.Load()),
+		TruncatedBelow:   types.Slot(r.progTrunc.Load()),
+		CheckpointNeeded: r.ckptNeeded.Load(),
+	}
+}
+
+// publishProgress refreshes the atomic mirrors from the loop-owned state.
+// Called by the event loop after each wakeup (and once from recovery, before
+// the loop starts).
+func (r *Replica) publishProgress() {
+	r.progDelivered.Store(int64(r.deliverNext - 1))
+	r.progMaxSeen.Store(int64(r.maxDecidedSeen))
+	r.progTrunc.Store(int64(r.truncatedBelow))
+}
+
+// post runs fn on the event-loop goroutine. It blocks until the control
+// queue has room or the replica stops; fn never runs after Stop.
+func (r *Replica) post(fn func()) {
+	select {
+	case r.ctrlCh <- fn:
+	case <-r.stopCh:
+	}
+}
+
+// TruncateBelow releases learner and acceptor state for all slots <= floor.
+// The caller (the composition layer) must guarantee that a checkpoint
+// covering those slots is durable and quorum-acknowledged first: after
+// truncation this replica refuses phase-2 votes at released slots and
+// answers catch-up requests for them with a checkpoint redirect instead of
+// entries. The floor is clamped to the delivered prefix — undelivered slots
+// are never truncated. Safe from any goroutine; applied asynchronously on
+// the event loop.
+func (r *Replica) TruncateBelow(floor types.Slot) {
+	r.post(func() { r.truncateBelow(floor) })
+}
+
+// SkipTo installs a checkpoint's base index: the application has restored
+// state covering every slot <= base, so delivery resumes at base+1 and the
+// skipped slots are released exactly as TruncateBelow would. Used by a
+// lagging member after a checkpoint fetch. Safe from any goroutine.
+func (r *Replica) SkipTo(base types.Slot) {
+	r.post(func() { r.skipTo(base) })
+}
+
+// truncateBelow is the loop-side release. Slots (truncatedBelow, floor] are
+// dropped from the in-memory maps and their durable records deleted; the
+// floor itself is persisted so recovery does not resurrect released slots.
+func (r *Replica) truncateBelow(floor types.Slot) {
+	if floor >= r.deliverNext {
+		floor = r.deliverNext - 1
+	}
+	if floor <= r.truncatedBelow {
+		return
+	}
+	prev := r.truncatedBelow
+	for slot := prev + 1; slot <= floor; slot++ {
+		if _, ok := r.decided[slot]; ok {
+			delete(r.decided, slot)
+			_ = r.store.Delete(storage.SlotKey(r.prefix+"dec/", uint64(slot)))
+		}
+		if _, ok := r.accepted[slot]; ok {
+			delete(r.accepted, slot)
+			_ = r.store.Delete(storage.SlotKey(r.prefix+"acc/", uint64(slot)))
+		}
+	}
+	r.truncatedBelow = floor
+	r.persistTruncated()
+	r.stats.truncated.Add(int64(floor - prev))
+	r.stats.retained.Store(int64(len(r.decided)))
+	r.publishProgress()
+}
+
+// skipTo is the loop-side checkpoint install: jump the delivery cursor to
+// base+1 and release everything at or below base.
+func (r *Replica) skipTo(base types.Slot) {
+	if base < r.deliverNext {
+		// Already past the checkpoint; nothing to skip. Still clear the
+		// checkpoint-needed latch: the fetch that triggered it completed.
+		r.ckptNeeded.Store(false)
+		return
+	}
+	prev := r.truncatedBelow
+	for slot := prev + 1; slot <= base; slot++ {
+		if _, ok := r.decided[slot]; ok {
+			delete(r.decided, slot)
+			_ = r.store.Delete(storage.SlotKey(r.prefix+"dec/", uint64(slot)))
+		}
+		if _, ok := r.accepted[slot]; ok {
+			delete(r.accepted, slot)
+			_ = r.store.Delete(storage.SlotKey(r.prefix+"acc/", uint64(slot)))
+		}
+	}
+	r.deliverNext = base + 1
+	if base > r.maxDecidedSeen {
+		r.maxDecidedSeen = base
+	}
+	if r.nextSlot <= base {
+		r.nextSlot = base + 1
+	}
+	r.truncatedBelow = base
+	r.persistTruncated()
+	r.stats.truncated.Add(int64(base - prev))
+	r.stats.retained.Store(int64(len(r.decided)))
+	r.ckptNeeded.Store(false)
+	r.publishProgress()
+	// Decisions above the base may already be decided and contiguous now.
+	r.deliverReady()
+}
+
+func (r *Replica) persistTruncated() {
+	w := types.NewWriter(8)
+	w.Uvarint(uint64(r.truncatedBelow))
+	if err := r.setDurable(r.prefix+"trunc", w.Bytes()); err != nil {
+		r.stats.violations.Add(1)
+	}
+}
+
+// TruncatedFloor reads the persisted truncation floor of a stream without
+// instantiating a replica — a recovery-planning helper for the composition
+// layer (a corrupt snapshot can only fall back to full log replay when the
+// log still starts at slot 1).
+func TruncatedFloor(store storage.Store, stream uint64) (types.Slot, error) {
+	raw, ok, err := store.Get(fmt.Sprintf("pxs/%d/", stream) + "trunc")
+	if err != nil || !ok {
+		return 0, err
+	}
+	rd := types.NewReader(raw)
+	floor := types.Slot(rd.Uvarint())
+	if err := rd.Err(); err != nil {
+		return 0, fmt.Errorf("truncation record: %w", err)
+	}
+	return floor, nil
 }

@@ -141,6 +141,12 @@ func (n *Node) collectReadyLocked(max int) []applyUnit {
 	cursor := n.appliedSlot
 	for len(units) < max && len(run.buffered) > 0 {
 		dec := run.buffered[0]
+		if dec.Slot != cursor+1 && dec.Slot > cursor && run.droppedBelow > cursor {
+			// The missing slots were dropped by the bounded buffer and this
+			// engine will not redeliver them; leave the decision parked and
+			// let checkpoint catch-up jump the cursor past the gap.
+			break
+		}
 		run.buffered = run.buffered[1:]
 		if dec.Slot != cursor+1 {
 			if dec.Slot <= cursor {
@@ -259,6 +265,34 @@ func (n *Node) routeDecisionLocked(td taggedDecision) {
 		n.stats.specDecides++
 	}
 	run.buffered = append(run.buffered, td.dec)
+	if lim := n.opts.DecisionBuffer; lim > 0 && len(run.buffered) > lim {
+		// Bounded parking: drop the oldest parked decision rather than let
+		// a long install window grow the buffer without limit. The dropped
+		// slots cannot come back from this buffer (engine delivery is
+		// once-only), so the marker reroutes the resulting cursor gap to
+		// checkpoint catch-up instead of counting it as a violation.
+		//
+		// The bound applies only to decisions the node cannot yet apply —
+		// a future configuration's engine, or the current one before its
+		// snapshot installs or behind an existing drop gap. An initialized
+		// node's contiguous backlog is working set the apply stage is
+		// actively draining: dropping its head would cut an unfillable gap
+		// right in front of the cursor (a permanent wedge under the
+		// NoCheckpoints ablation — restart recovery redelivers the whole
+		// retained log in one burst — and a spurious refetch otherwise).
+		// Its size needs no bound here: it is capped by what the engines
+		// retain, which truncation keeps near interval+margin.
+		if td.id > n.curID || !n.initialized || run.droppedBelow > n.appliedSlot {
+			if d := run.buffered[0]; d.Slot > run.droppedBelow {
+				run.droppedBelow = d.Slot
+			}
+			run.buffered = run.buffered[1:]
+			n.stats.bufferDrops++
+		}
+	}
+	if d := int64(len(run.buffered)); d > n.stats.bufferHigh {
+		n.stats.bufferHigh = d
+	}
 }
 
 // pumpLocked applies every ready decision and then serves any fast-path
@@ -282,6 +316,11 @@ func (n *Node) pumpDecisionsLocked() {
 			return
 		}
 		dec := run.buffered[0]
+		if dec.Slot != n.appliedSlot+1 && dec.Slot > n.appliedSlot && run.droppedBelow > n.appliedSlot {
+			// Gap left by the bounded buffer's drops: parked until
+			// checkpoint catch-up jumps the cursor (see routeDecisionLocked).
+			return
+		}
 		run.buffered = run.buffered[1:]
 		if dec.Slot != n.appliedSlot+1 {
 			if dec.Slot <= n.appliedSlot {

@@ -46,6 +46,12 @@ const (
 	opSnapMetaReply  uint8 = 14
 	opSnapChunk      uint8 = 15
 	opSnapChunkReply uint8 = 16
+	// Within-configuration checkpoints (mid-log snapshots): a member that
+	// made checkpoint base S durable announces it; the ack carries the
+	// receiver's own base, so one exchange teaches both sides. Codecs live
+	// in checkpoint.go.
+	opCkptAnnounce uint8 = 17
+	opCkptAck      uint8 = 18
 )
 
 // SubmitStatus describes the outcome of a submit RPC.

@@ -184,6 +184,53 @@ func FuzzDecodeSnapMetaReply(f *testing.F) {
 	})
 }
 
+func FuzzDecodeCkptAnnounce(f *testing.F) {
+	f.Add(encodeCkptAnnounce(ckptMsg{Config: 3, Base: 4096}))
+	// Base 0 means "no checkpoint yet" — a codec that turns it into anything
+	// else would convince peers a checkpoint is quorum-durable when it isn't.
+	f.Add(encodeCkptAnnounce(ckptMsg{Config: 1}))
+	f.Add(encodeCkptAnnounce(ckptMsg{Config: 1 << 40, Base: types.Slot(1 << 50)}))
+	f.Add([]byte{})
+	f.Add([]byte{byte(opCkptAnnounce)})
+	f.Add([]byte{byte(opCkptAnnounce), 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := decodeCkptAnnounce(data)
+		if err != nil {
+			return
+		}
+		again, err := decodeCkptAnnounce(encodeCkptAnnounce(m))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if again != m {
+			t.Fatalf("round trip changed: %+v -> %+v", m, again)
+		}
+	})
+}
+
+func FuzzDecodeCkptAck(f *testing.F) {
+	f.Add(encodeCkptAck(ckptMsg{Config: 2, Base: 30}))
+	f.Add(encodeCkptAck(ckptMsg{}))
+	// An ack must never decode as an announce and vice versa: the quorum-base
+	// computation treats them asymmetrically (acks feed the truncation floor).
+	f.Add(encodeCkptAnnounce(ckptMsg{Config: 9, Base: 9}))
+	f.Add([]byte{})
+	f.Add([]byte{byte(opCkptAck), 0x80})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := decodeCkptAck(data)
+		if err != nil {
+			return
+		}
+		again, err := decodeCkptAck(encodeCkptAck(m))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if again != m {
+			t.Fatalf("round trip changed: %+v -> %+v", m, again)
+		}
+	})
+}
+
 func FuzzDecodeSnapChunkReply(f *testing.F) {
 	f.Add(encodeSnapChunkReply(snapChunkReply{Chunks: [][]byte{[]byte("chunk-bytes"), nil, []byte("x")}}))
 	f.Add(encodeSnapChunkReply(snapChunkReply{}))

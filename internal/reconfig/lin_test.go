@@ -285,6 +285,9 @@ type linRun struct {
 	leaseTicks   int      // lease term override when reads is ReadModeLease
 	serialApply  bool     // ablation: coupled decide/apply path instead of the parallel stage
 	spec         SpecMode // 0 keeps the node default (SpecOn); SpecOff pins the wait-for-transfer ablation
+	ckptInterval int      // checkpoint producer interval override (0 keeps the 4096 default)
+	ckptMargin   int      // retained-slot margin below the quorum checkpoint base
+	catchupGap   int      // decision gap that triggers checkpoint catch-up
 }
 
 func runLin(t *testing.T, run linRun) {
@@ -304,6 +307,11 @@ func runLin(t *testing.T, run linRun) {
 	}
 	if run.spec != SpecDefault {
 		w.opts.SpeculativeStart = run.spec
+	}
+	if run.ckptInterval != 0 {
+		w.opts.CheckpointInterval = run.ckptInterval
+		w.opts.CheckpointMargin = run.ckptMargin
+		w.opts.CatchupGapSlots = run.catchupGap
 	}
 	if run.useWAL {
 		dir := t.TempDir()
@@ -455,6 +463,30 @@ func runLin(t *testing.T, run linRun) {
 	}
 	if !res.Ok {
 		t.Fatalf("history is NOT linearizable (seed %d):\n%s", seed, res.Counterexample)
+	}
+	if run.ckptInterval != 0 {
+		// The cell only means something if the compaction machinery actually
+		// ran under the fault schedule: with a tiny interval and hundreds of
+		// acknowledged ops, the surviving nodes must have published
+		// checkpoints and released engine log behind them. (Crash-restarted
+		// nodes restart their in-memory counters, so this sums whatever the
+		// current incarnations saw — still nonzero under continuous load.)
+		var published, fetches, truncated int64
+		for _, id := range pool {
+			if n := w.node(id); n != nil {
+				s := n.Stats()
+				published += s.CheckpointsPublished
+				fetches += s.CatchupFetches
+				truncated += s.TruncatedSlots
+			}
+		}
+		t.Logf("checkpoints: published=%d catchup-fetches=%d truncated-slots=%d", published, fetches, truncated)
+		if published == 0 {
+			t.Fatalf("checkpoint churn cell ran with zero checkpoints published; seed %d", seed)
+		}
+		if truncated == 0 {
+			t.Fatalf("checkpoint churn cell released no log slots; seed %d", seed)
+		}
 	}
 	w.checkNoViolations()
 }
@@ -632,6 +664,28 @@ func TestLinearizabilitySpeculativeReconfigBank(t *testing.T) {
 		steps:        6,
 		minReconfigs: 2,
 		spec:         SpecOn,
+	})
+}
+
+// TestLinearizabilityCheckpointChurn crosses log compaction with the fault
+// schedule: a ~30-slot checkpoint interval keeps the producer, quorum-gated
+// truncation and checkpoint catch-up all firing continuously while the
+// nemesis reconfigures, crash-restarts and isolates nodes. An isolated or
+// rebooted member that heals behind the survivors' truncation floor can only
+// recover through a checkpoint install — a double-applied prefix after the
+// install, a lost op inside the released log span, or a reply served from a
+// half-installed snapshot is a linearizability counterexample here.
+func TestLinearizabilityCheckpointChurn(t *testing.T) {
+	runLin(t, linRun{
+		workload:     kvWorkload(),
+		kinds:        []nemesis.Kind{nemesis.KindReconfigure, nemesis.KindCrashRestart, nemesis.KindIsolate},
+		seed:         1414,
+		clients:      4,
+		steps:        6,
+		minReconfigs: 1,
+		ckptInterval: 30,
+		ckptMargin:   5,
+		catchupGap:   50,
 	})
 }
 

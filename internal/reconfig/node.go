@@ -105,6 +105,33 @@ type Options struct {
 	// rather than double-applied; a genuinely new session always starts at
 	// seq 1 and is admitted. 0 (default) keeps the table unbounded.
 	SessionLimit int
+	// CheckpointInterval is how many applied slots pass between
+	// within-configuration checkpoints: once the applied cursor is this far
+	// past the newest durable checkpoint base, the housekeeping tick forks
+	// and publishes a new one (see checkpoint.go). Bounds retained engine
+	// log state to roughly interval + margin slots. Default 4096.
+	CheckpointInterval int
+	// CheckpointMargin is how many recent slots stay in the engine log
+	// below the quorum-durable checkpoint base, so a briefly lagging member
+	// catches up through ordinary slot redelivery instead of a state
+	// transfer. Default 512.
+	CheckpointMargin int
+	// CatchupGapSlots is the decision gap (engine contiguous decided
+	// frontier minus applied cursor, one O(1) Progress read) beyond which a
+	// member fetches the newest checkpoint instead of replaying every slot.
+	// Default 8192.
+	CatchupGapSlots int
+	// DecisionBuffer bounds the per-engine parked-decision buffer (decisions
+	// decided before this node's state is ready to apply them). Past the
+	// bound the oldest parked decision is dropped and the gap is repaired by
+	// checkpoint catch-up rather than unbounded memory growth. Default
+	// 16384.
+	DecisionBuffer int
+	// NoCheckpoints disables the within-configuration checkpoint producer,
+	// log truncation and checkpoint catch-up: a lagging member replays the
+	// full log slot by slot — the pre-checkpoint behavior. Ablation switch
+	// for experiment K1.
+	NoCheckpoints bool
 }
 
 // SpecMode selects the successor engine start policy. The zero value is
@@ -166,6 +193,18 @@ func (o Options) withDefaults() Options {
 	}
 	if o.SubmitQueue <= 0 {
 		o.SubmitQueue = 4096
+	}
+	if o.CheckpointInterval <= 0 {
+		o.CheckpointInterval = 4096
+	}
+	if o.CheckpointMargin <= 0 {
+		o.CheckpointMargin = 512
+	}
+	if o.CatchupGapSlots <= 0 {
+		o.CatchupGapSlots = 8192
+	}
+	if o.DecisionBuffer <= 0 {
+		o.DecisionBuffer = 16384
 	}
 	if o.Reads == 0 {
 		o.Reads = ReadModeIndex
@@ -231,7 +270,12 @@ type engineRun struct {
 	cfg      types.Config
 	eng      *paxos.Replica
 	buffered []smr.Decision // decisions held until this config activates
-	done     chan struct{}  // consumer goroutine exit
+	// droppedBelow is the highest parked decision slot the bounded buffer
+	// dropped (Options.DecisionBuffer): slots at or below it can no longer
+	// come from this buffer, so a cursor gap under the marker means "wait
+	// for checkpoint catch-up", not an engine-contract violation.
+	droppedBelow types.Slot
+	done         chan struct{} // consumer goroutine exit
 }
 
 type taggedDecision struct {
@@ -241,32 +285,39 @@ type taggedDecision struct {
 
 // NodeStats is a snapshot of the node's counters.
 type NodeStats struct {
-	Applied             int64 // commands applied to the machine (incl. dups)
-	Duplicates          int64 // commands recognized as duplicates
-	Wedges              int64 // reconfigurations executed through own log
-	StaleJumps          int64 // transitions adopted via announce + transfer
-	SnapshotsServed     int64 // snapshot manifests served to joiners
-	SnapshotsFetched    int64 // snapshots fully fetched and installed
-	ChunksServed        int64 // snapshot chunks served to joiners
-	ChunksFetched       int64 // snapshot chunks fetched and CRC-verified
-	ChunkRetries        int64 // fruitless fetch rounds (waited out with backoff)
-	ChunkCRCRejected    int64 // fetched chunks discarded on CRC mismatch
-	WedgeCaptureNS      int64 // time n.mu was held capturing state at the last wedge
-	Resubmits           int64 // pending command re-proposals
-	InvariantViolations int64
-	FastReads           int64 // reads served via the fast path (no log append)
-	ReadFallbacks       int64 // fast-path reads that fell back to the log
-	ReadFenced          int64 // fast-path reads refused by wedge fencing
-	DroppedInbound      int64 // engine inbox overflows, summed over engines
-	ApplyQueueDepth     int64 // decisions queued for the apply stage right now
-	ApplyQueueHighWater int64 // max observed apply queue depth
-	ApplyStalls         int64 // engine consumers blocked on a full apply queue
-	GroupCommits        int64 // engine bursts ending in a group-commit Sync, summed
-	SpeculativeDecides  int64 // decisions learned for a configuration before its snapshot installed
-	SpeculativeParked   int64 // decisions already parked for the new config when its snapshot installed
-	ShedSubmits         int64 // client commands shed with SubmitBusy (admission control)
-	SubmitQueueDepth    int64 // distinct client commands pending right now
-	SubmitQueueHigh     int64 // max observed pending-command count
+	Applied              int64 // commands applied to the machine (incl. dups)
+	Duplicates           int64 // commands recognized as duplicates
+	Wedges               int64 // reconfigurations executed through own log
+	StaleJumps           int64 // transitions adopted via announce + transfer
+	SnapshotsServed      int64 // snapshot manifests served to joiners
+	SnapshotsFetched     int64 // snapshots fully fetched and installed
+	ChunksServed         int64 // snapshot chunks served to joiners
+	ChunksFetched        int64 // snapshot chunks fetched and CRC-verified
+	ChunkRetries         int64 // fruitless fetch rounds (waited out with backoff)
+	ChunkCRCRejected     int64 // fetched chunks discarded on CRC mismatch
+	WedgeCaptureNS       int64 // time n.mu was held capturing state at the last wedge
+	Resubmits            int64 // pending command re-proposals
+	InvariantViolations  int64
+	FastReads            int64 // reads served via the fast path (no log append)
+	ReadFallbacks        int64 // fast-path reads that fell back to the log
+	ReadFenced           int64 // fast-path reads refused by wedge fencing
+	DroppedInbound       int64 // engine inbox overflows, summed over engines
+	ApplyQueueDepth      int64 // decisions queued for the apply stage right now
+	ApplyQueueHighWater  int64 // max observed apply queue depth
+	ApplyStalls          int64 // engine consumers blocked on a full apply queue
+	GroupCommits         int64 // engine bursts ending in a group-commit Sync, summed
+	SpeculativeDecides   int64 // decisions learned for a configuration before its snapshot installed
+	SpeculativeParked    int64 // decisions already parked for the new config when its snapshot installed
+	ShedSubmits          int64 // client commands shed with SubmitBusy (admission control)
+	SubmitQueueDepth     int64 // distinct client commands pending right now
+	SubmitQueueHigh      int64 // max observed pending-command count
+	CheckpointsPublished int64 // within-configuration checkpoints made durable
+	CheckpointBase       int64 // newest durable checkpoint base of the current config
+	TruncatedSlots       int64 // engine log slots released below checkpoint floors, summed
+	RetainedSlots        int64 // decided slots currently held by the engines, summed
+	CatchupFetches       int64 // checkpoints fetched and installed to close a decision gap
+	DecisionBufferHigh   int64 // max observed parked-decision buffer length, any engine
+	DecisionBufferDrops  int64 // parked decisions dropped by the bounded buffer
 }
 
 // Node is one process's reconfigurable-SMR runtime: it hosts the static
@@ -322,6 +373,17 @@ type Node struct {
 	gossipSeq   int
 	stopped     bool
 
+	// Within-configuration checkpoint state (checkpoint.go), guarded by mu.
+	// ckptCfg names the configuration the bases below belong to; a
+	// transition resets them (ckptTrackLocked).
+	ckptCfg           types.ConfigID
+	ckptSelfBase      types.Slot                  // newest locally durable checkpoint base
+	ckptPeerBase      map[types.NodeID]types.Slot // newest base each peer announced/acked
+	ckptPublishing    bool                        // a publishCheckpoint goroutine is running
+	ckptFetching      bool                        // a runCheckpointCatchup goroutine is running
+	ckptAnnounceLeft  int                         // ticks until the next periodic re-announce
+	ckptNextFetchTick int64                       // cooldown after a fruitless catch-up probe
+
 	// testChunkHook, when set by a test (same package), intercepts every
 	// chunk this node serves: returning modified bytes simulates wire
 	// corruption. Guarded by mu.
@@ -352,6 +414,8 @@ type Node struct {
 		resubmits, violations                   int64
 		specDecides, specParked                 int64
 		shedSubmits, submitHighWater            int64
+		checkpointsPublished, catchupFetches    int64
+		bufferHigh, bufferDrops                 int64
 	}
 	reads stats.ReadPathCounters
 }
@@ -461,24 +525,46 @@ func (n *Node) Start() error {
 		}
 	}
 
-	// Recover the machine from the current configuration's initial
-	// snapshot; the engine's redelivered log replays the rest. A partial
-	// chunk set (crashed mid-transfer) leaves the node uninitialized and
-	// the housekeeping loop resumes the fetch from the persisted chunks.
+	// Recover the machine from the current configuration's newest snapshot
+	// (the initial one, or the latest within-configuration checkpoint that
+	// replaced it); the engine's redelivered log replays the rest. A
+	// partial chunk set (crashed mid-transfer) leaves the node
+	// uninitialized and the housekeeping loop resumes the fetch from the
+	// persisted chunks.
 	n.machine = statemachine.NewSessioned(n.factory())
 	n.machine.SetSessionLimit(n.opts.SessionLimit)
 	if m, chunks, complete, err := storage.ReadChunked(n.store, snapPrefix(n.curID)); err != nil {
-		return err
-	} else if complete && m.Chunks() > 0 {
-		fresh, err := n.buildMachine(m, chunks)
-		if err != nil {
-			return fmt.Errorf("restore snapshot of cfg %d: %w", n.curID, err)
+		// A corrupt manifest must not brick the node. If this is the
+		// bootstrap configuration and the engine log is intact from slot 1
+		// (no truncation recorded), the empty machine plus full log replay
+		// reproduces the state — the bootstrap snapshot is empty anyway.
+		// Otherwise replay cannot start at 1: stay uninitialized and
+		// refetch the newest checkpoint from peers.
+		log.Printf("reconfig: %s snapshot of cfg %d unreadable (%v); falling back", n.self, n.curID, err)
+		floor, ferr := paxos.TruncatedFloor(n.store, uint64(n.curID))
+		if ferr == nil && floor == 0 && n.initConfig.ID != 0 && n.curID == n.initConfig.ID {
+			n.initialized = true
+			n.appliedSlot = 0
+		} else {
+			n.initialized = false
 		}
-		n.machine = fresh
-		n.initialized = true
-		// Resume applying where the snapshot's content ends (Base 0 for
-		// wedge-captured snapshots); the engine redelivers the rest.
-		n.appliedSlot = m.Base
+	} else if complete && m.Chunks() > 0 {
+		if fresh, err := n.buildMachine(m, chunks); err != nil {
+			// CRC-clean chunks that do not decode: treat like a corrupt
+			// manifest — stay uninitialized and refetch from peers.
+			log.Printf("reconfig: %s snapshot of cfg %d undecodable (%v); refetching", n.self, n.curID, err)
+			n.initialized = false
+		} else {
+			n.machine = fresh
+			n.initialized = true
+			// Resume applying where the snapshot's content ends (Base 0
+			// for wedge-captured snapshots, the checkpoint base
+			// otherwise); the engine redelivers the rest.
+			n.appliedSlot = m.Base
+			n.ckptCfg = n.curID
+			n.ckptSelfBase = m.Base
+			n.ckptPeerBase = make(map[types.NodeID]types.Slot)
+		}
 	} else {
 		// No snapshot, or crashed before the transfer finished; the
 		// housekeeping loop (re-)fetches the missing chunks.
@@ -720,40 +806,53 @@ func (n *Node) ChainRecords() []ChainRecord {
 func (n *Node) Stats() NodeStats {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	var dropped, groupCommits int64
+	var dropped, groupCommits, truncated, retained int64
 	for _, run := range n.engines {
 		es := run.eng.Stats()
 		dropped += es.DroppedInbound
 		groupCommits += es.GroupCommits
+		truncated += es.TruncatedSlots
+		retained += es.RetainedSlots
 	}
 	fast, fallback, fenced := n.reads.Snapshot()
+	var ckptBase int64
+	if n.ckptCfg == n.curID {
+		ckptBase = int64(n.ckptSelfBase)
+	}
 	return NodeStats{
-		Applied:             n.stats.applied,
-		Duplicates:          n.stats.duplicates,
-		Wedges:              n.stats.wedges,
-		StaleJumps:          n.stats.staleJumps,
-		SnapshotsServed:     n.stats.snapshotsServed,
-		SnapshotsFetched:    n.stats.snapshotsFetched,
-		ChunksServed:        n.stats.chunksServed,
-		ChunksFetched:       n.stats.chunksFetched,
-		ChunkRetries:        n.stats.chunkRetries,
-		ChunkCRCRejected:    n.stats.chunkCRCRejected,
-		WedgeCaptureNS:      n.stats.wedgeCaptureNS,
-		Resubmits:           n.stats.resubmits,
-		InvariantViolations: n.stats.violations,
-		FastReads:           fast,
-		ReadFallbacks:       fallback,
-		ReadFenced:          fenced,
-		DroppedInbound:      dropped,
-		ApplyQueueDepth:     int64(len(n.applyCh)),
-		ApplyQueueHighWater: n.applyHighWater.Load(),
-		ApplyStalls:         n.applyStalls.Load(),
-		GroupCommits:        groupCommits,
-		SpeculativeDecides:  n.stats.specDecides,
-		SpeculativeParked:   n.stats.specParked,
-		ShedSubmits:         n.stats.shedSubmits,
-		SubmitQueueDepth:    int64(len(n.pending)),
-		SubmitQueueHigh:     n.stats.submitHighWater,
+		Applied:              n.stats.applied,
+		Duplicates:           n.stats.duplicates,
+		Wedges:               n.stats.wedges,
+		StaleJumps:           n.stats.staleJumps,
+		SnapshotsServed:      n.stats.snapshotsServed,
+		SnapshotsFetched:     n.stats.snapshotsFetched,
+		ChunksServed:         n.stats.chunksServed,
+		ChunksFetched:        n.stats.chunksFetched,
+		ChunkRetries:         n.stats.chunkRetries,
+		ChunkCRCRejected:     n.stats.chunkCRCRejected,
+		WedgeCaptureNS:       n.stats.wedgeCaptureNS,
+		Resubmits:            n.stats.resubmits,
+		InvariantViolations:  n.stats.violations,
+		FastReads:            fast,
+		ReadFallbacks:        fallback,
+		ReadFenced:           fenced,
+		DroppedInbound:       dropped,
+		ApplyQueueDepth:      int64(len(n.applyCh)),
+		ApplyQueueHighWater:  n.applyHighWater.Load(),
+		ApplyStalls:          n.applyStalls.Load(),
+		GroupCommits:         groupCommits,
+		SpeculativeDecides:   n.stats.specDecides,
+		SpeculativeParked:    n.stats.specParked,
+		ShedSubmits:          n.stats.shedSubmits,
+		SubmitQueueDepth:     int64(len(n.pending)),
+		SubmitQueueHigh:      n.stats.submitHighWater,
+		CheckpointsPublished: n.stats.checkpointsPublished,
+		CheckpointBase:       ckptBase,
+		TruncatedSlots:       truncated,
+		RetainedSlots:        retained,
+		CatchupFetches:       n.stats.catchupFetches,
+		DecisionBufferHigh:   n.stats.bufferHigh,
+		DecisionBufferDrops:  n.stats.bufferDrops,
 	}
 }
 

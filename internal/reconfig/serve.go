@@ -81,6 +81,12 @@ func (n *Node) handleRPC(from types.NodeID, req []byte, respond func([]byte)) {
 		init := n.initConfig
 		n.mu.Unlock()
 		respond(encodeChainReply(chainReply{Initial: init, Records: recs}))
+	case opCkptAnnounce:
+		m, err := decodeCkptAnnounce(req)
+		if err != nil {
+			return
+		}
+		n.handleCkptAnnounce(from, m, respond)
 	}
 }
 
@@ -350,6 +356,28 @@ func (n *Node) houseTick() {
 	// mid-transfer) is relaunched here.
 	n.maybeStartFetchLocked()
 
+	// Within-configuration checkpoints: publish one when the applied cursor
+	// is an interval past the last, and fetch one when this member's
+	// decision gap says replaying the log would be slower (or impossible —
+	// peers truncated it).
+	n.maybeCheckpointLocked()
+	n.maybeCatchupLocked()
+
+	// Periodic checkpoint-base re-announce: repairs lost announces and
+	// keeps feeding peer bases into the truncation computation.
+	var ckptBody []byte
+	var ckptTo []types.NodeID
+	n.ckptAnnounceLeft--
+	if n.ckptAnnounceLeft <= 0 {
+		n.ckptAnnounceLeft = ckptAnnounceTicks
+		if !n.opts.NoCheckpoints && n.initialized && member &&
+			n.ckptCfg == n.curID && n.ckptSelfBase > 0 {
+			ckptBody = encodeCkptAnnounce(ckptMsg{Config: n.curID, Base: n.ckptSelfBase})
+			ckptTo = append([]types.NodeID(nil), cur.Members...)
+		}
+		n.maybeTruncateLocked()
+	}
+
 	// Anti-entropy: periodically trade chain knowledge with a random known
 	// peer. This is the repair path for lost announces — a member that
 	// missed a reconfiguration learns about the successor here. The
@@ -374,6 +402,9 @@ func (n *Node) houseTick() {
 			defer n.wg.Done()
 			n.gossipChain(gossipTo, gossipPush)
 		}()
+	}
+	if ckptBody != nil {
+		n.broadcastCkpt(ckptTo, ckptBody)
 	}
 }
 

@@ -40,6 +40,11 @@ const fetchWorkers = 4
 // a single chunk larger than the budget is still returned alone.
 const rangeBudget = 256 << 10
 
+// staleManifestRounds is how many consecutive fruitless fetch rounds a joiner
+// tolerates before discarding its manifest and re-pulling it — the recovery
+// for sources that replaced the snapshot with a newer checkpoint mid-fetch.
+const staleManifestRounds = 3
+
 // publishSnapshot pacing. Every member of the wedged configuration publishes
 // concurrently, so an unpaced serialize burns members × state bytes of CPU at
 // the exact moment the successor engine is electing and re-proposing — at 8MB
@@ -278,9 +283,10 @@ func (n *Node) runFetch(id types.ConfigID) {
 		manifest, chunks, have = m, cs, true
 	}
 
+	abort := func() bool { return n.fetchAborted(id) }
 	attempt := 0
 	for {
-		if n.fetchAborted(id) {
+		if abort() {
 			return
 		}
 		n.mu.Lock()
@@ -291,23 +297,30 @@ func (n *Node) runFetch(id types.ConfigID) {
 		if !have {
 			if m, lead, ok := n.fetchManifest(id, sources, rng); ok {
 				manifest = m
-				chunks = make([][]byte, m.Chunks())
 				have = true
 				progress = true
 				if err := storage.WriteChunkManifest(n.store, prefix, m); err != nil {
 					n.countViolation()
 				}
-				// Adopt the chunks piggybacked on the manifest reply; for a
-				// small snapshot that is the whole transfer in one round trip.
+				// Re-adopt persisted chunks that verify against this
+				// manifest (resume after a crash, or after a manifest
+				// refresh whose content mostly survived), then the chunks
+				// piggybacked on the reply; for a small snapshot that is
+				// the whole transfer in one round trip.
+				if _, cs, _, err := storage.ReadChunked(n.store, prefix); err == nil && len(cs) == m.Chunks() {
+					chunks = cs
+				} else {
+					chunks = make([][]byte, m.Chunks())
+				}
 				for i, data := range lead {
-					if i < len(chunks) {
+					if i < len(chunks) && chunks[i] == nil {
 						n.acceptChunk(prefix, manifest, chunks, nil, i, data)
 					}
 				}
 			}
 		}
 		if have {
-			if n.fetchMissingChunks(id, prefix, manifest, chunks, sources) {
+			if n.fetchMissingChunks(id, prefix, manifest, chunks, sources, abort) {
 				progress = true
 			}
 			missing := 0
@@ -327,6 +340,14 @@ func (n *Node) runFetch(id types.ConfigID) {
 			continue
 		}
 		attempt++
+		if have && attempt%staleManifestRounds == 0 {
+			// Nothing useful for several rounds while holding a manifest:
+			// the sources may have replaced the snapshot with a newer
+			// checkpoint (their chunks no longer match our CRCs). Drop the
+			// manifest and re-pull it; chunks already persisted that still
+			// verify are re-adopted above.
+			have = false
+		}
 		n.mu.Lock()
 		n.stats.chunkRetries++
 		n.mu.Unlock()
@@ -341,8 +362,11 @@ func (n *Node) runFetch(id types.ConfigID) {
 
 // acceptChunk CRC-verifies one fetched chunk; on success it records it in
 // chunks (under resMu when given) and persists it immediately — which is what
-// makes the transfer resumable and the joiner itself a source. Returns
-// whether the chunk was accepted.
+// makes the transfer resumable and the joiner itself a source. An empty
+// prefix skips persistence: the initialized catch-up path (checkpoint.go)
+// fetches in memory only, because writing chunks under the manifest the store
+// still holds would corrupt the blob it describes. Returns whether the chunk
+// was accepted.
 func (n *Node) acceptChunk(prefix string, m storage.ChunkManifest, chunks [][]byte, resMu *sync.Mutex, idx int, data []byte) bool {
 	if storage.ChunkCRC(data) != m.CRCs[idx] {
 		// Corrupt on the wire or a poisoned source: reject this chunk
@@ -359,8 +383,10 @@ func (n *Node) acceptChunk(prefix string, m storage.ChunkManifest, chunks [][]by
 	if resMu != nil {
 		resMu.Unlock()
 	}
-	if err := n.store.Set(storage.ChunkKey(prefix, idx), data); err != nil {
-		n.countViolation()
+	if prefix != "" {
+		if err := n.store.Set(storage.ChunkKey(prefix, idx), data); err != nil {
+			n.countViolation()
+		}
 	}
 	n.mu.Lock()
 	n.stats.chunksFetched++
@@ -426,7 +452,7 @@ func missingSpans(chunks [][]byte) []chunkSpan {
 // rotates through the rest when a source yields nothing useful, so the load
 // spreads and a dead or corrupt source only costs the spans it was tried
 // for. Returns whether any chunk was fetched.
-func (n *Node) fetchMissingChunks(id types.ConfigID, prefix string, m storage.ChunkManifest, chunks [][]byte, sources []types.NodeID) bool {
+func (n *Node) fetchMissingChunks(id types.ConfigID, prefix string, m storage.ChunkManifest, chunks [][]byte, sources []types.NodeID, abort func() bool) bool {
 	if len(sources) == 0 {
 		return false
 	}
@@ -447,7 +473,7 @@ func (n *Node) fetchMissingChunks(id types.ConfigID, prefix string, m storage.Ch
 		go func(w int) {
 			defer wg.Done()
 			for sp := range spanCh {
-				if n.fetchSpan(id, prefix, m, chunks, &resMu, sp, sources, w) {
+				if n.fetchSpan(id, prefix, m, chunks, &resMu, sp, sources, w, abort) {
 					resMu.Lock()
 					progress = true
 					resMu.Unlock()
@@ -456,7 +482,7 @@ func (n *Node) fetchMissingChunks(id types.ConfigID, prefix string, m storage.Ch
 		}(w)
 	}
 	for _, sp := range spans {
-		if n.fetchAborted(id) {
+		if abort() {
 			break
 		}
 		spanCh <- sp
@@ -471,12 +497,12 @@ func (n *Node) fetchMissingChunks(id types.ConfigID, prefix string, m storage.Ch
 // CRC-rejected chunk in the middle of a range leaves a hole that a later
 // round retries (against a rotated source) without re-fetching its verified
 // neighbors.
-func (n *Node) fetchSpan(id types.ConfigID, prefix string, m storage.ChunkManifest, chunks [][]byte, resMu *sync.Mutex, sp chunkSpan, sources []types.NodeID, w int) bool {
+func (n *Node) fetchSpan(id types.ConfigID, prefix string, m storage.ChunkManifest, chunks [][]byte, resMu *sync.Mutex, sp chunkSpan, sources []types.NodeID, w int, abort func() bool) bool {
 	progress := false
 	idx := sp.first
 	end := sp.first + sp.count
 	for idx < end {
-		if n.fetchAborted(id) {
+		if abort() {
 			return progress
 		}
 		advanced := false

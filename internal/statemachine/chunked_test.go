@@ -88,6 +88,55 @@ func TestKVForkIsolation(t *testing.T) {
 	}
 }
 
+// TestKVForkConcurrentApply races the checkpoint producer's usage of the
+// fork: chunks are serialized from a background goroutine (as
+// publishCheckpoint does, paced off the critical path) while the parent
+// machine keeps applying. The copy-on-write contract says the fork's shard
+// maps are frozen at fork time — under -race this catches any sharing
+// between the fork's read path and the parent's clone-before-write path, and
+// the final comparison catches value leaks either direction.
+func TestKVForkConcurrentApply(t *testing.T) {
+	m := NewKVStore()
+	for i := 0; i < 400; i++ {
+		m.Apply(EncodePut(fmt.Sprintf("key-%04d", i), []byte("old")))
+	}
+	want := m.Snapshot()
+	fork := m.ForkSnapshot()
+
+	done := make(chan [][]byte, 1)
+	go func() {
+		chunks := make([][]byte, fork.NumChunks())
+		for i := range chunks {
+			chunks[i] = fork.Chunk(i)
+		}
+		done <- chunks
+	}()
+	// Touch every shard after the fork: overwrites, deletes, inserts.
+	for i := 0; i < 400; i++ {
+		m.Apply(EncodePut(fmt.Sprintf("key-%04d", i), []byte("NEW")))
+		if i%3 == 0 {
+			m.Apply(EncodeDelete(fmt.Sprintf("key-%04d", i)))
+		}
+	}
+	chunks := <-done
+
+	m2 := NewKVStore()
+	for i, c := range chunks {
+		if err := m2.RestoreChunk(i, c); err != nil {
+			t.Fatalf("RestoreChunk(%d): %v", i, err)
+		}
+	}
+	if err := m2.FinishRestore(len(chunks)); err != nil {
+		t.Fatalf("FinishRestore: %v", err)
+	}
+	if !bytes.Equal(m2.Snapshot(), want) {
+		t.Fatal("concurrently serialized fork diverges from the state at fork time")
+	}
+	if rep := m.Apply(EncodeGet("key-0101")); !bytes.Equal(rep, okReply([]byte("NEW"))) {
+		t.Fatalf("live machine lost a post-fork write: %q", rep)
+	}
+}
+
 // TestKVForkDeterministic: two machines with equal state (built in different
 // orders) produce byte-identical chunk sequences — required for multi-source
 // fetch against a single CRC manifest.

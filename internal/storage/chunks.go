@@ -114,6 +114,41 @@ func WriteChunked(s Store, prefix string, m ChunkManifest, chunk func(i int) []b
 	return nil
 }
 
+// WriteChunkedCommit persists a chunked blob in commit order: every chunk
+// first, a Sync, then the manifest. This is the overwrite-safe variant for
+// replacing a blob in place — a periodic checkpoint overwriting its
+// predecessor. WriteChunked's manifest-first order is right for a resumable
+// fetch (persist the manifest, then chunks as they arrive and verify), but
+// for an overwrite a crash after the new manifest and before the new chunks
+// would leave a manifest whose CRCs match nothing durable. With commit
+// ordering the manifest on disk always postdates its chunks: a crash
+// mid-write leaves the old manifest with at worst some CRC-mismatching
+// chunks, which ReadChunked reports as incomplete — a recoverable state,
+// never a poisoned one.
+func WriteChunkedCommit(s Store, prefix string, m ChunkManifest, chunk func(i int) []byte) error {
+	for i := 0; i < len(m.CRCs); i++ {
+		if err := s.Set(ChunkKey(prefix, i), chunk(i)); err != nil {
+			return err
+		}
+	}
+	// Stale chunks beyond the new count would survive under the old keys;
+	// remove them so the blob's key range matches the manifest.
+	if old, ok, err := ReadChunkManifest(s, prefix); err == nil && ok {
+		for i := len(m.CRCs); i < old.Chunks(); i++ {
+			if err := s.Delete(ChunkKey(prefix, i)); err != nil {
+				return err
+			}
+		}
+	}
+	if err := s.Sync(); err != nil {
+		return err
+	}
+	if err := WriteChunkManifest(s, prefix, m); err != nil {
+		return err
+	}
+	return s.Sync()
+}
+
 // ReadChunk loads chunk i under prefix and verifies it against the manifest
 // CRC; a corrupt chunk is reported as absent (ok=false) so recovery refetches
 // it rather than poisoning a restore.

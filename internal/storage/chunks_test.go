@@ -143,3 +143,76 @@ func FuzzReadChunkedResume(f *testing.F) {
 		}
 	})
 }
+
+// TestWriteChunkedCommitReplacesInPlace overwrites a blob with a smaller
+// successor through the commit-ordered writer: the new manifest must be
+// adopted, stale chunk keys beyond the new count must be gone, and the read
+// back must be complete.
+func TestWriteChunkedCommitReplacesInPlace(t *testing.T) {
+	s := NewMem()
+	write := func(base types.Slot, parts ...string) {
+		m := ChunkManifest{Format: 2, Base: base, CRCs: make([]uint32, len(parts))}
+		for i, p := range parts {
+			m.CRCs[i] = ChunkCRC([]byte(p))
+		}
+		if err := WriteChunkedCommit(s, "snap", m, func(i int) []byte { return []byte(parts[i]) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write(100, "one", "two", "three", "four")
+	write(200, "bigger", "newer")
+
+	m, chunks, complete, err := ReadChunked(s, "snap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !complete || m.Base != 200 || m.Chunks() != 2 {
+		t.Fatalf("after overwrite: complete=%v base=%d chunks=%d", complete, m.Base, m.Chunks())
+	}
+	if string(chunks[0]) != "bigger" || string(chunks[1]) != "newer" {
+		t.Fatalf("chunk content: %q %q", chunks[0], chunks[1])
+	}
+	for i := 2; i < 4; i++ {
+		if _, ok, _ := s.Get(ChunkKey("snap", i)); ok {
+			t.Fatalf("stale chunk %d survived the overwrite", i)
+		}
+	}
+}
+
+// TestWriteChunkedCommitTornWriteRecoverable simulates a crash between the
+// new chunks and the new manifest: the old manifest remains authoritative
+// and ReadChunked reports the blob incomplete (CRC mismatch), never a new
+// manifest describing missing chunks.
+func TestWriteChunkedCommitTornWriteRecoverable(t *testing.T) {
+	s := NewMem()
+	old := []string{"aaa", "bbb"}
+	m1 := ChunkManifest{Format: 2, Base: 10, CRCs: []uint32{ChunkCRC([]byte(old[0])), ChunkCRC([]byte(old[1]))}}
+	if err := WriteChunkedCommit(s, "snap", m1, func(i int) []byte { return []byte(old[i]) }); err != nil {
+		t.Fatal(err)
+	}
+
+	// Torn overwrite: the successor's chunks land, the manifest does not —
+	// exactly what a crash between the two Syncs leaves behind.
+	next := []string{"XXXXX", "YYYYY"}
+	for i, p := range next {
+		if err := s.Set(ChunkKey("snap", i), []byte(p)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	m, chunks, complete, err := ReadChunked(s, "snap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Base != 10 {
+		t.Fatalf("manifest base %d; torn write replaced the manifest", m.Base)
+	}
+	if complete {
+		t.Fatal("blob read back complete despite CRC-mismatching chunks")
+	}
+	for i, c := range chunks {
+		if c != nil {
+			t.Fatalf("chunk %d passed CRC against the old manifest: %q", i, c)
+		}
+	}
+}
